@@ -1,0 +1,87 @@
+"""Ablation: global-objective partitioners vs QoS guarantees (§2).
+
+The related work the paper builds on partitions the cache to optimise
+a *global* objective — total misses (Suh, Qureshi) or uniform slowdown
+(Kim) — without guaranteeing anything to individual jobs.  This bench
+runs those policies on the real calibrated curves with four bzip2
+instances each "needing" 7 of 16 ways, and shows that every policy
+leaves at least two jobs below the Figure 1 IPC target that the
+paper's admission controller would have protected (by accepting only
+two jobs).
+"""
+
+from repro.core.partitioners import (
+    PartitionedJob,
+    equal_partition,
+    evaluate_partition,
+    fair_slowdown_partition,
+    min_miss_partition,
+)
+from repro.util.tables import format_table
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.profiler import get_curve
+
+INSTANCES = 4
+TOTAL_WAYS = 16
+TARGET_WAYS = 7
+
+
+def run_policies(_):
+    profile = get_benchmark("bzip2")
+    curve = get_curve(profile)
+    model = profile.cpi_model()
+    jobs = {
+        job_id: PartitionedJob(
+            job_id=job_id, curve=curve, cpi_model=model
+        )
+        for job_id in range(1, INSTANCES + 1)
+    }
+    target_ipc = model.ipc(curve.mpi(TARGET_WAYS))
+    policies = {
+        "equal split (VPC)": equal_partition(jobs, TOTAL_WAYS),
+        "min-miss greedy (Suh/UCP)": min_miss_partition(jobs, TOTAL_WAYS),
+        "fair slowdown (Kim)": fair_slowdown_partition(jobs, TOTAL_WAYS),
+    }
+    outcomes = {
+        name: evaluate_partition(jobs, allocation)
+        for name, allocation in policies.items()
+    }
+    return target_ipc, outcomes
+
+
+def test_ablation_partition_policies(benchmark):
+    target_ipc, outcomes = benchmark.pedantic(
+        run_policies, args=(None,), rounds=1, iterations=1
+    )
+
+    rows = []
+    for name, outcome in outcomes.items():
+        met = sum(1 for ipc in outcome.ipc.values() if ipc >= target_ipc)
+        rows.append(
+            [
+                name,
+                str(sorted(outcome.allocation.values(), reverse=True)),
+                min(outcome.ipc.values()),
+                f"{met}/{INSTANCES}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "policy",
+                "way split",
+                "worst per-job IPC",
+                f"jobs meeting IPC {target_ipc:.3f}",
+            ],
+            rows,
+            title="Ablation — global-objective partitioners vs QoS",
+        )
+    )
+
+    for name, outcome in outcomes.items():
+        met = sum(1 for ipc in outcome.ipc.values() if ipc >= target_ipc)
+        # No policy can satisfy all four; most satisfy none or one.
+        # The paper's framework accepts exactly two and satisfies both.
+        assert met < INSTANCES, name
+        assert met <= 2, name

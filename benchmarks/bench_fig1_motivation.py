@@ -1,0 +1,62 @@
+"""Figure 1: why cache partitioning alone cannot provide QoS.
+
+The paper's motivating experiment: 1–4 instances of bzip2 share the
+2 MB L2 under equal partitioning, each targeting an IPC of at least
+0.25 (two thirds of its solo IPC).  With one or two instances the
+target is met; with three or four it is not — because nothing checks
+whether the capacity demanded exceeds the capacity available.
+
+Paper series (4-core CMP, 32 KB L1s, 2 MB shared L2):
+  1 job: IPC 0.375 (solo)     -> target met
+  2 jobs: target met
+  3 jobs / 4 jobs: target missed
+
+Regenerates the IPC-per-instance-count series and asserts the met /
+missed split.
+"""
+
+from repro.util.tables import format_table
+from repro.workloads.benchmarks import BENCHMARKS
+
+TARGET_IPC_FRACTION = 2.0 / 3.0
+TOTAL_WAYS = 16
+
+
+def equal_share_ipcs(curve):
+    """IPC of each bzip2 instance when 1-4 instances split the L2."""
+    model = BENCHMARKS["bzip2"].cpi_model()
+    return {
+        instances: model.ipc(curve.mpi(TOTAL_WAYS / instances))
+        for instances in (1, 2, 3, 4)
+    }
+
+
+def test_fig1_motivation(benchmark, representative_curves):
+    curve = representative_curves["bzip2"]
+    ipcs = benchmark.pedantic(
+        equal_share_ipcs, args=(curve,), rounds=1, iterations=1
+    )
+    solo = ipcs[1]
+    target = TARGET_IPC_FRACTION * solo
+
+    rows = [
+        [n, ipcs[n], target, "met" if ipcs[n] >= target else "MISSED"]
+        for n in sorted(ipcs)
+    ]
+    print()
+    print(
+        format_table(
+            ["instances", "per-instance IPC", "QoS target", "outcome"],
+            rows,
+            title="Figure 1 — bzip2 under equal L2 partitioning",
+        )
+    )
+
+    # Paper shape: solo IPC ~0.375; targets met at <=2 instances,
+    # missed at 3 and 4.
+    assert 0.33 < solo < 0.42
+    assert ipcs[2] >= target
+    assert ipcs[3] < target
+    assert ipcs[4] < target
+    # More co-runners never help.
+    assert ipcs[1] >= ipcs[2] >= ipcs[3] >= ipcs[4]

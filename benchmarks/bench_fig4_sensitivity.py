@@ -1,0 +1,46 @@
+"""Figure 4: cache-space sensitivity of the fifteen benchmarks.
+
+The paper plots each benchmark's CPI increase when its L2 allocation
+shrinks from 7 ways to 1 way (x) and from 7 to 4 ways (y), and reads
+off three groups: highly sensitive (Group 1), moderately sensitive
+(Group 2, hurt by deep cuts only), and insensitive (Group 3).  The
+representatives are bzip2 (1), hmmer (2), gobmk (3).
+
+Regenerates the full scatter by profiling all fifteen synthetic
+benchmarks (the slowest bench: ~16 way-points x 15 benchmarks of real
+cache simulation) and asserts every benchmark classifies into its
+declared group.
+"""
+
+from repro.analysis.report import sensitivity_table
+from repro.analysis.sensitivity import classify_benchmarks, sensitivity_points
+
+
+def test_fig4_sensitivity(benchmark):
+    points = benchmark.pedantic(sensitivity_points, rounds=1, iterations=1)
+
+    print()
+    print(sensitivity_table(points, title="Figure 4 — sensitivity scatter"))
+
+    assert len(points) == 15
+    groups = classify_benchmarks(points)
+    for point in points:
+        assert groups[point.benchmark] == point.declared_group, (
+            point.benchmark
+        )
+
+    # The representatives sit where the paper puts them.
+    assert groups["bzip2"] == 1
+    assert groups["hmmer"] == 2
+    assert groups["gobmk"] == 3
+
+    by_group = {
+        g: [p for p in points if p.declared_group == g] for g in (1, 2, 3)
+    }
+    # Group 1 suffers even from the shallow cut; group 3 barely moves
+    # even on the deep one; group 2 sits between them on the 7->1 axis.
+    worst_g3 = max(p.cpi_increase_7_to_1 for p in by_group[3])
+    best_g2 = min(p.cpi_increase_7_to_1 for p in by_group[2])
+    assert best_g2 > worst_g3
+    assert all(p.cpi_increase_7_to_4 >= 0.25 for p in by_group[1])
+    assert all(p.cpi_increase_7_to_4 < 0.25 for p in by_group[2])

@@ -1,0 +1,118 @@
+"""Figure 8: resource stealing versus the Elastic slack X.
+
+For bzip2 under Hybrid-2 the paper varies the Elastic slack X and
+observes:
+
+(a) the Elastic jobs' cumulative L2 miss increase closely tracks X
+    (the duplicate-tag mechanism works), while their CPI increases at
+    a slower rate — roughly one third to one half of the miss-rate
+    increase, confirming that the miss-rate criterion conservatively
+    bounds the promised slowdown;
+
+(b) Opportunistic jobs' wall-clock time falls as X grows.
+
+Regenerates both panels.  Note (recorded in EXPERIMENTS.md): with the
+synthetic bzip2 curve the Opportunistic benefit grows more slowly at
+small X than in the paper, because the synthetic knee at ~6 ways makes
+the first stolen way relatively expensive.
+"""
+
+import statistics
+
+from repro.core.config import ModeMixConfig
+from repro.core.modes import ModeKind
+from repro.analysis.runner import run_configuration
+from repro.util.tables import format_table
+from repro.workloads.composer import single_benchmark_workload
+
+SLACKS = (0.01, 0.02, 0.05, 0.10, 0.20)
+
+
+def sweep_slack(_):
+    rows = {}
+    for slack in SLACKS:
+        config = ModeMixConfig(
+            name=f"Hybrid-2(X={slack:.0%})",
+            strict_fraction=0.4,
+            elastic_fraction=0.3,
+            opportunistic_fraction=0.3,
+            elastic_slack=slack,
+        )
+        workload = single_benchmark_workload("bzip2", config)
+        result = run_configuration(workload, record_trace=False)
+        elastic = [
+            j
+            for j in result.jobs
+            if j.requested_mode.kind is ModeKind.ELASTIC
+        ]
+        opportunistic = [
+            j
+            for j in result.jobs
+            if j.requested_mode.kind is ModeKind.OPPORTUNISTIC
+        ]
+        rows[slack] = {
+            "elastic_wc": statistics.mean(
+                j.wall_clock_time for j in elastic
+            ),
+            "opp_wc": statistics.mean(
+                j.wall_clock_time for j in opportunistic
+            ),
+            "steals": result.steal_transfers,
+            "hit_rate": result.deadline_report.hit_rate,
+        }
+    return rows
+
+
+def test_fig8_stealing(benchmark):
+    rows = benchmark.pedantic(sweep_slack, args=(None,), rounds=1, iterations=1)
+
+    baseline_elastic = min(row["elastic_wc"] for row in rows.values())
+    table = []
+    for slack in SLACKS:
+        row = rows[slack]
+        cpi_increase = row["elastic_wc"] / baseline_elastic - 1.0
+        table.append(
+            [
+                f"{slack:.0%}",
+                cpi_increase,
+                row["opp_wc"] * 2e3,  # Mcycles at 2 GHz
+                row["steals"],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "slack X",
+                "Elastic CPI increase",
+                "Opportunistic wall-clock (Mcyc)",
+                "steal transfers",
+            ],
+            table,
+            title="Figure 8 — stealing vs slack (bzip2, Hybrid-2)",
+        )
+    )
+
+    for slack in SLACKS:
+        row = rows[slack]
+        # All Elastic deadlines still met at every slack.
+        assert row["hit_rate"] == 1.0, slack
+        # (a) the slowdown never exceeds the promised slack, and stays
+        # below it (CPI increase < miss increase <= X).
+        cpi_increase = row["elastic_wc"] / baseline_elastic - 1.0
+        assert cpi_increase <= slack + 1e-6, slack
+        # Stealing actually happens.
+        assert row["steals"] > 0, slack
+
+    # Elastic jobs slow down monotonically with the slack they grant...
+    elastic_series = [rows[s]["elastic_wc"] for s in SLACKS]
+    assert elastic_series == sorted(elastic_series)
+    # ...and the CPI increase at the largest slack is a sizeable
+    # fraction of X but below it (the paper's 1/3-1/2 observation).
+    big = rows[SLACKS[-1]]["elastic_wc"] / baseline_elastic - 1.0
+    assert 0.25 * SLACKS[-1] < big < SLACKS[-1]
+
+    # (b) Opportunistic jobs speed up as X grows.
+    opp_series = [rows[s]["opp_wc"] for s in SLACKS]
+    assert opp_series[-1] < opp_series[0]
+    assert all(b <= a + 1e-9 for a, b in zip(opp_series, opp_series[1:]))

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  The
+expensive inputs — miss-ratio curves and full configuration sweeps —
+are profiled/simulated once per session and shared.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis.runner import run_all_configurations
+from repro.sim.config import SimulationConfig
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.profiler import get_curve
+
+
+SIM_CONFIG = SimulationConfig()
+
+
+@pytest.fixture(scope="session")
+def representative_curves():
+    """Profiled miss-ratio curves for the three Table 1 benchmarks."""
+    return {
+        name: get_curve(BENCHMARKS[name])
+        for name in ("bzip2", "hmmer", "gobmk")
+    }
+
+
+class _SweepCache:
+    """Session cache of full Table 2 sweeps, keyed by workload name."""
+
+    def __init__(self):
+        self._results = {}
+
+    def sweep(self, benchmark_or_mix, *, record_trace=False):
+        key = (benchmark_or_mix, record_trace)
+        if key not in self._results:
+            self._results[key] = run_all_configurations(
+                benchmark_or_mix,
+                sim_config=SIM_CONFIG,
+                record_trace=record_trace,
+            )
+        return self._results[key]
+
+
+@pytest.fixture(scope="session")
+def sweeps():
+    """Lazy cache of per-workload configuration sweeps."""
+    return _SweepCache()

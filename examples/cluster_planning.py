@@ -1,0 +1,85 @@
+"""Capacity-planning a CMP server (the Figure 2 architecture at scale).
+
+The paper evaluates a single 4-core node and assumes a Global
+Admission Controller in front of many of them.  This example answers
+the operator's questions with the reservation-level cluster simulator:
+
+1. How does the acceptance rate degrade as offered load grows on a
+   fixed cluster?
+2. How many nodes does a given SLA mix need for 95% acceptance?
+3. Does least-loaded placement buy anything over first-fit?
+
+Run with:  python examples/cluster_planning.py
+"""
+
+from repro import ClusterJobProfile, ClusterSimulator, size_cluster
+from repro.analysis.sweeps import sweep_arrival_rate
+from repro.core.spec import PRESET_TARGETS
+from repro.util.tables import format_table
+
+PROFILES = [
+    ClusterJobProfile(
+        name="gold",
+        weight=0.25,
+        resources=PRESET_TARGETS["large"],
+        mean_wall_clock=1.0,
+        deadline_multiplier=1.2,
+    ),
+    ClusterJobProfile(
+        name="silver",
+        weight=0.50,
+        resources=PRESET_TARGETS["medium"],
+        mean_wall_clock=0.6,
+        deadline_multiplier=2.0,
+    ),
+    ClusterJobProfile(
+        name="bronze",
+        weight=0.25,
+        resources=PRESET_TARGETS["small"],
+        mean_wall_clock=0.4,
+        deadline_multiplier=3.0,
+    ),
+]
+
+
+def main():
+    print("1. Acceptance vs offered load on a 4-node cluster:\n")
+    points = sweep_arrival_rate(
+        PROFILES, (1.0, 0.5, 0.25, 0.1, 0.05), num_nodes=4
+    )
+    print(
+        format_table(
+            ["mean inter-arrival (s)", "acceptance rate", "mean core load"],
+            [
+                [p.mean_interarrival, p.acceptance_rate, p.mean_load]
+                for p in points
+            ],
+            title="load sweep",
+        )
+    )
+
+    print("\n2. Sizing for 95% acceptance at inter-arrival 0.1 s:\n")
+    nodes = size_cluster(
+        profiles=PROFILES,
+        mean_interarrival=0.1,
+        target_acceptance=0.95,
+    )
+    print(f"   -> {nodes} node(s)")
+
+    print("\n3. Placement policy at that load on the sized cluster:\n")
+    for policy in ("first_fit", "least_loaded"):
+        report = ClusterSimulator(
+            num_nodes=nodes,
+            profiles=PROFILES,
+            mean_interarrival=0.1,
+            placement_policy=policy,
+        ).run(horizon=50.0)
+        print(
+            f"   {policy:12s}: acceptance {report.acceptance_rate:.1%}, "
+            f"gold {report.class_acceptance_rate('gold'):.1%}, "
+            f"counter-offers {report.counter_offers}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Server consolidation with SLA tiers across multiple CMP nodes.
+
+The paper's motivating scenario (Section 1): a utility-computing
+provider runs jobs with gold/silver/bronze service-level agreements on
+a cluster of CMP nodes.  The Global Admission Controller (Figure 2)
+probes each node's LAC and places a job on the first node that can
+guarantee its QoS target; when no node can, it computes a counter-offer
+deadline the client could accept instead.
+
+SLA mapping used here:
+
+- **gold**   → the 'large' preset (2 cores + 12 ways), Strict.
+- **silver** → the 'medium' preset (1 core + 7 ways), Elastic(10%).
+- **bronze** → the 'small' preset (1 core + 3 ways), Opportunistic.
+
+Run with:  python examples/server_consolidation.py
+"""
+
+from repro import (
+    ExecutionMode,
+    GlobalAdmissionController,
+    Job,
+    LocalAdmissionController,
+    PRESET_TARGETS,
+    QoSTarget,
+    ResourceVector,
+    TimeslotRequest,
+)
+
+NUM_NODES = 3
+NODE_CAPACITY = ResourceVector(cores=4, cache_ways=16)
+
+SLA_TIERS = {
+    "gold": (PRESET_TARGETS["large"], ExecutionMode.strict()),
+    "silver": (PRESET_TARGETS["medium"], ExecutionMode.elastic(0.10)),
+    "bronze": (PRESET_TARGETS["small"], ExecutionMode.opportunistic()),
+}
+
+
+def make_job(job_id, tier, *, tw=1.0, slack=0.5, now=0.0):
+    """Build a job for an SLA tier with deadline ta + tw*(1+slack)."""
+    resources, mode = SLA_TIERS[tier]
+    promised = mode.reservation_duration(tw) or tw
+    return Job(
+        job_id=job_id,
+        benchmark="bzip2",
+        target=QoSTarget(
+            resources=resources,
+            timeslot=TimeslotRequest(
+                max_wall_clock=tw, deadline=now + promised * (1 + slack)
+            ),
+            mode=mode,
+        ),
+        arrival_time=now,
+        instructions=200_000_000,
+    )
+
+
+def main():
+    gac = GlobalAdmissionController(
+        [LocalAdmissionController(NODE_CAPACITY) for _ in range(NUM_NODES)]
+    )
+    print(
+        f"cluster: {NUM_NODES} nodes x {NODE_CAPACITY} "
+        f"({gac.total_capacity_cores()} cores total)\n"
+    )
+
+    submissions = [
+        ("gold", 0.0), ("silver", 0.0), ("silver", 0.0), ("bronze", 0.0),
+        ("gold", 0.1), ("gold", 0.1), ("silver", 0.2), ("gold", 0.3),
+        ("gold", 0.3), ("bronze", 0.4), ("gold", 0.4), ("gold", 0.5),
+    ]
+
+    placed = {tier: 0 for tier in SLA_TIERS}
+    rejected = 0
+    for job_id, (tier, now) in enumerate(submissions, start=1):
+        job = make_job(job_id, tier, now=now)
+        result = gac.place(job, now=now)
+        if result.accepted:
+            placed[tier] += 1
+            start = (
+                result.decision.reserved_start
+                if result.decision.reservation
+                else now
+            )
+            print(
+                f"job {job_id:2d} [{tier:6s}] -> node {result.node_index}, "
+                f"starts {start:.2f}s "
+                f"(probed {len(result.probes)} node(s))"
+            )
+        else:
+            rejected += 1
+            offer = result.counter_offer_deadline
+            negotiation = (
+                f"counter-offer: deadline {offer:.2f}s"
+                if offer is not None
+                else "request exceeds every node"
+            )
+            print(f"job {job_id:2d} [{tier:6s}] -> REJECTED; {negotiation}")
+            # Accept the negotiated deadline, as Section 3.1 suggests.
+            relaxed = gac.renegotiated_target(job, now=now)
+            if relaxed is not None:
+                retry = Job(
+                    job_id=job_id,
+                    benchmark=job.benchmark,
+                    target=relaxed,
+                    arrival_time=now,
+                    instructions=job.instructions,
+                )
+                retry_result = gac.place(retry, now=now)
+                if retry_result.accepted:
+                    placed[tier] += 1
+                    rejected -= 1
+                    print(
+                        f"         renegotiated -> node "
+                        f"{retry_result.node_index} ✓"
+                    )
+
+    print(f"\nplaced per tier: {placed}; rejected outright: {rejected}")
+    print(f"cluster core load at t=0.5s: {gac.load_at(0.5):.0%}")
+
+
+if __name__ == "__main__":
+    main()

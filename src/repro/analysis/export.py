@@ -1,0 +1,130 @@
+"""JSON export of simulation results.
+
+Benches print paper-style text tables; downstream users plotting with
+their own tooling need machine-readable results.  This module
+serialises :class:`~repro.sim.system.SystemResult` (and collections of
+them) into plain dictionaries / JSON files with every quantity the
+paper's figures are built from: per-job timings, modes, deadlines,
+per-mode wall-clock statistics, the throughput and deadline reports,
+and the execution trace segments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.sim.system import SystemResult
+
+
+def job_to_dict(job) -> Dict:
+    """Serialise one job's lifecycle."""
+    return {
+        "job_id": job.job_id,
+        "benchmark": job.benchmark,
+        "requested_mode": job.requested_mode.describe(),
+        "auto_downgraded": job.auto_downgraded,
+        "arrival_time": job.arrival_time,
+        "start_time": job.start_time,
+        "completion_time": job.completion_time,
+        "terminated_time": job.terminated_time,
+        "state": job.state.value,
+        "deadline": job.deadline,
+        "max_wall_clock": job.max_wall_clock,
+        "wall_clock_time": job.wall_clock_time,
+        "met_deadline": job.met_deadline,
+        "switch_back_time": job.switch_back_time,
+        "requested_ways": job.target.resources.cache_ways,
+        "requested_cores": job.target.resources.cores,
+        "mode_history": [
+            {"time": time, "mode": mode.describe()}
+            for time, mode in job.mode_history
+        ],
+    }
+
+
+def result_to_dict(result: SystemResult, *, include_trace: bool = True) -> Dict:
+    """Serialise one simulation result."""
+    payload = {
+        "workload": result.workload_name,
+        "configuration": result.configuration_name,
+        "makespan_seconds": result.makespan_seconds,
+        "makespan_cycles": result.makespan_cycles,
+        "deadline_report": {
+            "considered": result.deadline_report.considered,
+            "met": result.deadline_report.met,
+            "hit_rate": result.deadline_report.hit_rate,
+        },
+        "throughput": {
+            "jobs_measured": result.throughput.jobs_measured,
+            "makespan": result.throughput.makespan,
+        },
+        "probes": result.probes,
+        "rejections": result.rejections,
+        "backfills": result.backfills,
+        "terminations": result.terminations,
+        "steal_transfers": result.steal_transfers,
+        "steal_cancellations": result.steal_cancellations,
+        "lac": {
+            "admission_tests": result.lac_admission_tests,
+            "candidate_windows": result.lac_candidate_windows,
+        },
+        "jobs": [job_to_dict(job) for job in result.jobs],
+        "wall_clock_by_mode": {
+            mode_key: {
+                "count": stats.count,
+                "mean": stats.mean,
+                "min": stats.minimum,
+                "max": stats.maximum,
+            }
+            for mode_key, stats in result.wall_clock.per_mode.items()
+            if stats.count > 0
+        },
+    }
+    if include_trace:
+        payload["trace"] = [
+            {
+                "job_id": segment.job_id,
+                "start": segment.start,
+                "end": segment.end,
+                "mode": segment.mode.describe(),
+                "ways": segment.ways,
+                "core_id": segment.core_id,
+                "cpu_share": segment.cpu_share,
+            }
+            for segment in result.trace.segments
+        ]
+    return payload
+
+
+def results_to_dict(
+    results: Dict[str, SystemResult], *, include_trace: bool = False
+) -> Dict:
+    """Serialise a configuration sweep (e.g. Figure 5's five runs)."""
+    return {
+        name: result_to_dict(result, include_trace=include_trace)
+        for name, result in results.items()
+    }
+
+
+def write_json(
+    payload: Dict, path: Union[str, Path], *, indent: int = 2
+) -> Path:
+    """Write a serialised payload to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=indent, sort_keys=True))
+    return path
+
+
+def export_result(
+    result: SystemResult,
+    path: Union[str, Path],
+    *,
+    include_trace: bool = True,
+) -> Path:
+    """One-call export of a single result to a JSON file."""
+    return write_json(
+        result_to_dict(result, include_trace=include_trace), path
+    )

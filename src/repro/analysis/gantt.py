@@ -1,0 +1,101 @@
+"""ASCII Gantt rendering of execution traces (the Figure 7 view).
+
+The paper's Figure 7 draws each accepted job as a horizontal bar from
+start to completion, a dashed extension to its deadline, and arrows at
+automatic-downgrade switch-back instants.  This module renders the
+same picture in plain text from an :class:`~repro.sim.tracing.ExecutionTrace`:
+
+::
+
+    job  1 |SSSSSSSSSSSSSSSS....                              |
+    job  2 |ooooooooOOOOOOOOOOOOSSSSSSSS..                    |
+             ^ Opportunistic    ^ switched back to Strict
+
+Legend: ``S`` Strict, ``E`` Elastic, ``o`` Opportunistic (idle share),
+``O`` Opportunistic (running), ``.`` slack to the deadline, ``!`` a
+missed deadline, ``|`` the chart frame.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.job import Job
+from repro.core.modes import ModeKind
+from repro.sim.tracing import ExecutionTrace
+from repro.util.validation import check_positive
+
+_MODE_GLYPHS = {
+    ModeKind.STRICT: "S",
+    ModeKind.ELASTIC: "E",
+    ModeKind.OPPORTUNISTIC: "O",
+}
+
+
+def _glyph(mode_kind: ModeKind, cpu_share: float) -> str:
+    glyph = _MODE_GLYPHS[mode_kind]
+    if mode_kind is ModeKind.OPPORTUNISTIC and cpu_share <= 0.0:
+        return "o"  # queued/stalled: no core available
+    return glyph
+
+
+def render_gantt(
+    jobs: Sequence[Job],
+    trace: ExecutionTrace,
+    *,
+    width: int = 72,
+    horizon: Optional[float] = None,
+) -> str:
+    """Render jobs' execution segments as an ASCII Gantt chart.
+
+    ``horizon`` fixes the time axis (defaults to the latest deadline or
+    completion); each character cell covers ``horizon / width`` time.
+    """
+    check_positive("width", width)
+    if not jobs:
+        raise ValueError("no jobs to render")
+
+    ends = []
+    for job in jobs:
+        if job.completion_time is not None:
+            ends.append(job.completion_time)
+        if job.deadline is not None:
+            ends.append(job.deadline)
+    if horizon is None:
+        horizon = max(ends) if ends else 1.0
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    cell = horizon / width
+
+    lines: List[str] = []
+    for job in jobs:
+        row = [" "] * width
+        for segment in trace.segments_for(job.job_id):
+            glyph = _glyph(segment.mode.kind, segment.cpu_share)
+            first = int(segment.start / cell)
+            last = int(min(segment.end, horizon) / cell)
+            for index in range(first, min(last + 1, width)):
+                row[index] = glyph
+        # Dashed run-out to the deadline (or '!' when it was missed).
+        if job.deadline is not None and job.completion_time is not None:
+            completion_cell = int(job.completion_time / cell)
+            deadline_cell = int(min(job.deadline, horizon) / cell)
+            if job.completion_time <= job.deadline:
+                for index in range(
+                    completion_cell + 1, min(deadline_cell + 1, width)
+                ):
+                    if row[index] == " ":
+                        row[index] = "."
+            elif deadline_cell < width:
+                row[deadline_cell] = "!"
+        label = f"job {job.job_id:>3} "
+        lines.append(f"{label}|{''.join(row)}|")
+
+    scale = (
+        f"{'':8}|{'0':<{width // 2}}{f'{horizon:.3g}':>{width // 2}}|"
+    )
+    legend = (
+        "legend: S=Strict  E=Elastic  O=Opportunistic  "
+        "o=queued  .=deadline slack  !=missed"
+    )
+    return "\n".join(lines + [scale, legend])

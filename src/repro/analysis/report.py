@@ -1,0 +1,149 @@
+"""Paper-style result rendering.
+
+Turns :class:`~repro.sim.system.SystemResult` collections into the text
+tables the benchmark harness prints — one per reproduced figure/table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.runner import normalised_throughputs
+from repro.analysis.sensitivity import SensitivityPoint
+from repro.sim.system import SystemResult
+from repro.util.tables import format_table
+
+
+def deadline_table(results: Dict[str, SystemResult], *, title: str) -> str:
+    """Figure 5(a)/9(a): deadline hit rate per configuration."""
+    rows = [
+        [name, result.deadline_report.considered, result.deadline_report.hit_rate]
+        for name, result in results.items()
+    ]
+    return format_table(
+        ["configuration", "jobs with deadlines", "deadline hit rate"],
+        rows,
+        title=title,
+    )
+
+
+def throughput_table(
+    results: Dict[str, SystemResult],
+    *,
+    title: str,
+    baseline: str = "All-Strict",
+) -> str:
+    """Figure 5(b)/9(b): normalised throughput per configuration."""
+    normalised = normalised_throughputs(results, baseline=baseline)
+    rows = [
+        [
+            name,
+            result.makespan_cycles / 1e6,
+            normalised[name],
+        ]
+        for name, result in results.items()
+    ]
+    return format_table(
+        ["configuration", "makespan (Mcycles)", f"throughput vs {baseline}"],
+        rows,
+        title=title,
+    )
+
+
+def wall_clock_table(result: SystemResult, *, title: str) -> str:
+    """Figure 6: per-mode average and min/max wall-clock candles."""
+    rows = []
+    for mode_key in result.wall_clock.modes():
+        stats = result.wall_clock.stats_for(mode_key)
+        rows.append(
+            [
+                mode_key,
+                stats.count,
+                stats.mean * 1e3,
+                stats.minimum * 1e3,
+                stats.maximum * 1e3,
+            ]
+        )
+    return format_table(
+        ["mode", "jobs", "avg wall-clock (ms)", "min (ms)", "max (ms)"],
+        rows,
+        title=title,
+    )
+
+
+def trace_table(result: SystemResult, *, title: str) -> str:
+    """Figure 7: per-job execution spans, deadlines, and downgrades."""
+    rows = []
+    for job in result.jobs:
+        span = result.trace.job_span(job.job_id)
+        start, end = (span if span else (None, None))
+        rows.append(
+            [
+                job.job_id,
+                job.requested_mode.describe()
+                + ("+AutoDown" if job.auto_downgraded else ""),
+                None if start is None else start * 1e3,
+                None if end is None else end * 1e3,
+                None if job.deadline is None else job.deadline * 1e3,
+                None
+                if job.switch_back_time is None
+                else job.switch_back_time * 1e3,
+                "yes" if job.met_deadline else "no",
+            ]
+        )
+    return format_table(
+        [
+            "job",
+            "mode",
+            "start (ms)",
+            "end (ms)",
+            "deadline (ms)",
+            "switch-back (ms)",
+            "met deadline",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def sensitivity_table(
+    points: Sequence[SensitivityPoint], *, title: str
+) -> str:
+    """Figure 4: the sensitivity scatter as a table."""
+    rows = [
+        [
+            point.benchmark,
+            point.declared_group,
+            point.classify(),
+            point.cpi_increase_7_to_1,
+            point.cpi_increase_7_to_4,
+        ]
+        for point in points
+    ]
+    return format_table(
+        [
+            "benchmark",
+            "declared group",
+            "measured group",
+            "CPI incr 7→1",
+            "CPI incr 7→4",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def summary_lines(results: Dict[str, SystemResult]) -> List[str]:
+    """Compact per-configuration one-liners for bench logs."""
+    normalised = normalised_throughputs(results) if "All-Strict" in results else {}
+    lines = []
+    for name, result in results.items():
+        extra = (
+            f", throughput x{normalised[name]:.2f}" if name in normalised else ""
+        )
+        lines.append(
+            f"{name}: hit-rate {result.deadline_report.hit_rate:.0%}, "
+            f"makespan {result.makespan_cycles / 1e6:.0f} Mcycles"
+            f"{extra}, steals {result.steal_transfers}"
+        )
+    return lines

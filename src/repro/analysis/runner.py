@@ -1,0 +1,126 @@
+"""Shared experiment drivers.
+
+Benches and examples all run the same shapes of experiment: one
+workload under one Table 2 configuration, or a benchmark/mix under all
+five configurations with normalised throughput.  These helpers
+centralise the dispatch (QoS simulator vs EqualPart) and the curve
+cache so every entry point measures identically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.core.config import CONFIGURATIONS, ModeMixConfig
+from repro.sim.config import MachineConfig, SimulationConfig
+from repro.sim.equalpart import EqualPartSimulator
+from repro.sim.system import QoSSystemSimulator, SystemResult
+from repro.workloads.composer import (
+    WorkloadSpec,
+    mixed_workload,
+    single_benchmark_workload,
+)
+from repro.workloads.profiler import MissRatioCurve
+
+
+def run_configuration(
+    workload: WorkloadSpec,
+    *,
+    machine: Optional[MachineConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    curves: Optional[Dict[str, MissRatioCurve]] = None,
+    record_trace: bool = True,
+) -> SystemResult:
+    """Run one workload under its embedded configuration."""
+    if workload.configuration.equal_partition:
+        simulator: object = EqualPartSimulator(
+            workload,
+            machine=machine,
+            sim_config=sim_config,
+            curves=curves,
+            record_trace=record_trace,
+        )
+    else:
+        simulator = QoSSystemSimulator(
+            workload,
+            machine=machine,
+            sim_config=sim_config,
+            curves=curves,
+            record_trace=record_trace,
+        )
+    return simulator.run()  # type: ignore[union-attr]
+
+
+def _workload_for(
+    benchmark_or_mix: str,
+    configuration: ModeMixConfig,
+    *,
+    count: int,
+    seed: int,
+) -> WorkloadSpec:
+    if benchmark_or_mix in ("Mix-1", "Mix-2"):
+        return mixed_workload(
+            benchmark_or_mix, configuration, count=count, seed=seed
+        )
+    return single_benchmark_workload(
+        benchmark_or_mix, configuration, count=count, seed=seed
+    )
+
+
+def run_all_configurations(
+    benchmark_or_mix: str,
+    *,
+    configurations: Optional[Iterable[str]] = None,
+    count: int = 10,
+    seed: int = 42,
+    machine: Optional[MachineConfig] = None,
+    sim_config: Optional[SimulationConfig] = None,
+    curves: Optional[Dict[str, MissRatioCurve]] = None,
+    record_trace: bool = False,
+) -> Dict[str, SystemResult]:
+    """Run a benchmark (or Table 3 mix) under every Table 2 configuration.
+
+    Deadline draws share the seed across configurations, as in the
+    paper's methodology.
+    """
+    names = (
+        list(configurations)
+        if configurations is not None
+        else list(CONFIGURATIONS)
+    )
+    results: Dict[str, SystemResult] = {}
+    for name in names:
+        configuration = CONFIGURATIONS[name]
+        workload = _workload_for(
+            benchmark_or_mix, configuration, count=count, seed=seed
+        )
+        results[name] = run_configuration(
+            workload,
+            machine=machine,
+            sim_config=sim_config,
+            curves=curves,
+            record_trace=record_trace,
+        )
+    return results
+
+
+def normalised_throughputs(
+    results: Dict[str, SystemResult],
+    *,
+    baseline: str = "All-Strict",
+) -> Dict[str, float]:
+    """Throughput of each configuration relative to ``baseline``.
+
+    The Figure 5(b)/9(b) y-axis: >1 means the configuration completes
+    the same ten jobs faster than All-Strict.
+    """
+    if baseline not in results:
+        raise ValueError(
+            f"baseline {baseline!r} missing from results "
+            f"({sorted(results)})"
+        )
+    reference = results[baseline].throughput
+    return {
+        name: result.throughput.normalised_to(reference)
+        for name, result in results.items()
+    }

@@ -1,0 +1,142 @@
+"""Cache geometry: sizes, associativity, and address slicing.
+
+The machine model in Section 6 of the paper uses power-of-two caches
+(32 KB 4-way L1s, a 2 MB 16-way shared L2, 64-byte blocks), so address
+decomposition is exact bit slicing:
+
+``address = | tag | set index | block offset |``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_power_of_two, check_positive
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Immutable description of a cache's shape.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total data capacity in bytes (power of two).
+    associativity:
+        Ways per set. Must divide ``size_bytes / block_bytes``.
+    block_bytes:
+        Cache block (line) size in bytes (power of two).
+    """
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_power_of_two("block_bytes", self.block_bytes)
+        check_positive("associativity", self.associativity)
+        if self.block_bytes > self.size_bytes:
+            raise ValueError(
+                f"block_bytes ({self.block_bytes}) exceeds cache size "
+                f"({self.size_bytes})"
+            )
+        if self.size_bytes % self.block_bytes != 0:
+            raise ValueError(
+                f"block_bytes ({self.block_bytes}) does not divide "
+                f"size_bytes ({self.size_bytes})"
+            )
+        total_blocks = self.size_bytes // self.block_bytes
+        if total_blocks % self.associativity != 0:
+            raise ValueError(
+                f"associativity {self.associativity} does not divide the "
+                f"{total_blocks} blocks of a {self.size_bytes}-byte cache"
+            )
+        # The set count must be a power of two for exact bit slicing;
+        # the *size* need not be (a 7-way partition view is not).
+        check_power_of_two("num_sets", total_blocks // self.associativity)
+
+    @classmethod
+    def from_sets(
+        cls, num_sets: int, associativity: int, block_bytes: int
+    ) -> "CacheGeometry":
+        """Build a geometry from set count, ways, and block size.
+
+        Used for partition views: a 7-way slice of the 2048-set L2 is
+        ``from_sets(2048, 7, 64)`` — not a power-of-two total size.
+        """
+        check_power_of_two("num_sets", num_sets)
+        check_positive("associativity", associativity)
+        check_power_of_two("block_bytes", block_bytes)
+        return cls(
+            size_bytes=num_sets * associativity * block_bytes,
+            associativity=associativity,
+            block_bytes=block_bytes,
+        )
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of cache blocks."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_blocks // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of block-offset bits."""
+        return self.block_bytes.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        """Number of set-index bits."""
+        return self.num_sets.bit_length() - 1
+
+    @property
+    def way_bytes(self) -> int:
+        """Capacity of a single way across all sets.
+
+        The paper expresses QoS cache requests in ways of the 16-way L2:
+        one way of a 2 MB 16-way cache is 128 KB, so the paper's 896 KB
+        request is exactly 7 ways.
+        """
+        return self.size_bytes // self.associativity
+
+    # -- address slicing ---------------------------------------------------
+
+    def block_address(self, address: int) -> int:
+        """Return the block-aligned address (offset bits cleared)."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Return the set index for ``address``."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Return the tag for ``address``."""
+        return address >> (self.offset_bits + self.index_bits)
+
+    def compose(self, tag: int, set_index: int) -> int:
+        """Inverse of slicing: rebuild a block-aligned byte address."""
+        if not 0 <= set_index < self.num_sets:
+            raise ValueError(
+                f"set_index {set_index} out of range [0, {self.num_sets})"
+            )
+        return ((tag << self.index_bits) | set_index) << self.offset_bits
+
+    def ways_to_bytes(self, ways: int) -> int:
+        """Convert a way count into bytes of capacity."""
+        if not 0 <= ways <= self.associativity:
+            raise ValueError(
+                f"ways {ways} out of range [0, {self.associativity}]"
+            )
+        return ways * self.way_bytes
+
+    def __str__(self) -> str:
+        kb = self.size_bytes // 1024
+        return (
+            f"{kb}KB/{self.associativity}-way/{self.block_bytes}B "
+            f"({self.num_sets} sets)"
+        )

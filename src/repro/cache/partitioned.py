@@ -1,0 +1,330 @@
+"""Way-partitioned shared cache with QoS-aware victim selection.
+
+This is the shared L2 of the machine model, implementing the fine-grain
+per-set partitioning scheme of Section 4.1 of the paper (itself adapted
+from Iyer and Nesbit et al.):
+
+- Each core has a *target allocation counter*: the number of ways it
+  should converge to in every set.
+- Each set keeps a *per-set counter* per core: the number of blocks in
+  that set currently owned by the core.
+- On a miss, if the requesting core is under its target in the set, a
+  victim is taken from an over-allocated core; otherwise the core
+  replaces one of its own blocks.
+
+The paper's QoS modification: when choosing among over-allocated cores,
+blocks belonging to over-allocated *Strict or Elastic(X)* jobs are
+evicted first, so those cores converge to their (possibly just reduced)
+targets quickly and stolen capacity flows to Opportunistic jobs as fast
+as possible.  That priority is expressed here by each core's
+:class:`PartitionClass`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.cache.basic import AccessResult, CacheLine
+from repro.cache.geometry import CacheGeometry
+from repro.cache.replacement import LruPolicy
+from repro.cache.stats import CacheStats
+
+
+class PartitionClass(enum.Enum):
+    """Victim-selection priority class of a core's current job.
+
+    The QoS layer maps execution modes onto these classes:
+    Strict and Elastic(X) jobs are ``RESERVED``; Opportunistic jobs are
+    ``BEST_EFFORT``.  Cores with no job are ``UNASSIGNED`` and their
+    leftover blocks are the most preferred victims of all.
+    """
+
+    RESERVED = "reserved"
+    BEST_EFFORT = "best_effort"
+    UNASSIGNED = "unassigned"
+
+
+@dataclass
+class _CoreState:
+    """Partitioning state for one core."""
+
+    target_ways: int = 0
+    partition_class: PartitionClass = PartitionClass.UNASSIGNED
+    total_blocks: int = 0  # across all sets
+
+
+class WayPartitionedCache:
+    """Shared set-associative cache with per-set way partitioning."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        num_cores: int,
+        *,
+        name: str = "l2",
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError(f"num_cores must be positive, got {num_cores}")
+        self.geometry = geometry
+        self.num_cores = num_cores
+        self.name = name
+        self.stats = CacheStats()
+        self._lines: List[List[CacheLine]] = [
+            [CacheLine() for _ in range(geometry.associativity)]
+            for _ in range(geometry.num_sets)
+        ]
+        self._policies: List[LruPolicy] = [
+            LruPolicy(geometry.associativity) for _ in range(geometry.num_sets)
+        ]
+        # per-set, per-core occupancy counters (Section 4.1).
+        self._set_counters: List[List[int]] = [
+            [0] * num_cores for _ in range(geometry.num_sets)
+        ]
+        self._cores: List[_CoreState] = [_CoreState() for _ in range(num_cores)]
+
+    # -- partition management ------------------------------------------------
+
+    def set_target(self, core_id: int, ways: int) -> None:
+        """Set the target way allocation for ``core_id``.
+
+        The sum of all targets must not exceed the associativity — the
+        admission controller guarantees this invariant; the cache
+        enforces it defensively.
+        """
+        self._check_core(core_id)
+        if not 0 <= ways <= self.geometry.associativity:
+            raise ValueError(
+                f"target ways {ways} out of range "
+                f"[0, {self.geometry.associativity}]"
+            )
+        proposed = sum(
+            ways if cid == core_id else state.target_ways
+            for cid, state in enumerate(self._cores)
+        )
+        if proposed > self.geometry.associativity:
+            raise ValueError(
+                f"total target ways would be {proposed}, exceeding "
+                f"associativity {self.geometry.associativity}"
+            )
+        self._cores[core_id].target_ways = ways
+
+    def set_class(self, core_id: int, partition_class: PartitionClass) -> None:
+        """Set the victim-priority class for ``core_id``."""
+        self._check_core(core_id)
+        self._cores[core_id].partition_class = partition_class
+
+    def target_of(self, core_id: int) -> int:
+        """Current target way allocation of ``core_id``."""
+        self._check_core(core_id)
+        return self._cores[core_id].target_ways
+
+    def class_of(self, core_id: int) -> PartitionClass:
+        """Current partition class of ``core_id``."""
+        self._check_core(core_id)
+        return self._cores[core_id].partition_class
+
+    def unallocated_ways(self) -> int:
+        """Ways not covered by any core's target (external fragmentation)."""
+        return self.geometry.associativity - sum(
+            state.target_ways for state in self._cores
+        )
+
+    def release_core(self, core_id: int) -> None:
+        """Mark ``core_id``'s job as departed.
+
+        The target is zeroed and the class reset to ``UNASSIGNED``; the
+        core's blocks stay resident but become the most preferred
+        victims (modelling a real cache, where departed jobs' lines age
+        out rather than being flushed).
+        """
+        self._check_core(core_id)
+        self._cores[core_id].target_ways = 0
+        self._cores[core_id].partition_class = PartitionClass.UNASSIGNED
+
+    def flush_core(self, core_id: int) -> int:
+        """Invalidate all blocks owned by ``core_id``; return the count."""
+        self._check_core(core_id)
+        flushed = 0
+        for set_index, lines in enumerate(self._lines):
+            for way, line in enumerate(lines):
+                if line.valid and line.core_id == core_id:
+                    line.valid = False
+                    line.dirty = False
+                    self._policies[set_index].invalidate(way)
+                    self._set_counters[set_index][core_id] -= 1
+                    flushed += 1
+        self._cores[core_id].total_blocks -= flushed
+        return flushed
+
+    # -- occupancy inspection -------------------------------------------------
+
+    def occupancy_of(self, core_id: int) -> int:
+        """Total blocks owned by ``core_id`` across all sets."""
+        self._check_core(core_id)
+        return self._cores[core_id].total_blocks
+
+    def set_occupancy(self, core_id: int, set_index: int) -> int:
+        """Blocks owned by ``core_id`` in one set."""
+        self._check_core(core_id)
+        return self._set_counters[set_index][core_id]
+
+    def allocation_error(self, core_id: int) -> float:
+        """Mean absolute per-set deviation from the target allocation.
+
+        Used by the partitioning ablation (DESIGN.md §5.1 / §5.3): the
+        per-set scheme drives this toward zero over time, whereas the
+        global-counter scheme leaves per-set occupancy unconstrained.
+        """
+        self._check_core(core_id)
+        target = self._cores[core_id].target_ways
+        total_error = sum(
+            abs(counters[core_id] - target) for counters in self._set_counters
+        )
+        return total_error / self.geometry.num_sets
+
+    def contains(self, address: int) -> bool:
+        """Return True if the block holding ``address`` is resident."""
+        set_index = self.geometry.set_index(address)
+        tag = self.geometry.tag(address)
+        return any(
+            line.valid and line.tag == tag for line in self._lines[set_index]
+        )
+
+    # -- the access path --------------------------------------------------------
+
+    def access(
+        self, core_id: int, address: int, *, is_write: bool = False
+    ) -> AccessResult:
+        """Present one access from ``core_id``; fill on miss.
+
+        On a hit the block's ownership is *not* transferred: in the
+        machine model jobs do not share data, and keeping ownership
+        stable keeps the per-set counters meaningful.
+        """
+        self._check_core(core_id)
+        set_index = self.geometry.set_index(address)
+        tag = self.geometry.tag(address)
+        lines = self._lines[set_index]
+        policy = self._policies[set_index]
+
+        for way, line in enumerate(lines):
+            if line.valid and line.tag == tag:
+                policy.touch(way)
+                if is_write:
+                    line.dirty = True
+                self.stats.record_access(core_id, hit=True)
+                return AccessResult(hit=True)
+
+        self.stats.record_access(core_id, hit=False)
+
+        empty_way = next(
+            (way for way, line in enumerate(lines) if not line.valid), None
+        )
+        if empty_way is not None:
+            victim_way = empty_way
+            evicted_address = None
+            writeback = False
+            victim_core: Optional[int] = None
+        else:
+            victim_way = self._choose_victim(core_id, set_index)
+            victim_line = lines[victim_way]
+            evicted_address = self.geometry.compose(victim_line.tag, set_index)
+            writeback = victim_line.dirty
+            victim_core = victim_line.core_id
+            self.stats.record_eviction(
+                victim_line.core_id, core_id, victim_line.dirty
+            )
+            self._set_counters[set_index][victim_line.core_id] -= 1
+            self._cores[victim_line.core_id].total_blocks -= 1
+
+        line = lines[victim_way]
+        line.valid = True
+        line.tag = tag
+        line.dirty = is_write
+        line.core_id = core_id
+        policy.insert(victim_way)
+        self._set_counters[set_index][core_id] += 1
+        self._cores[core_id].total_blocks += 1
+        self.stats.record_fill()
+        return AccessResult(
+            hit=False,
+            evicted_address=evicted_address,
+            writeback=writeback,
+            victim_core=victim_core,
+        )
+
+    # -- victim selection (Section 4.1) ---------------------------------------
+
+    def _choose_victim(self, core_id: int, set_index: int) -> int:
+        """Pick the way to evict for a miss by ``core_id`` in ``set_index``.
+
+        Scope order:
+
+        1. If the requester is at or above its target in this set, it
+           replaces its own LRU block (the core "pays for" its own miss).
+        2. Otherwise the requester is under-allocated and steals from,
+           in priority order: blocks of ``UNASSIGNED`` cores (departed
+           jobs), then over-allocated ``RESERVED`` cores, then
+           over-allocated ``BEST_EFFORT`` cores.
+        3. Fallbacks (sum of targets below associativity can leave no
+           over-allocated core): the LRU ``BEST_EFFORT`` block, then the
+           global LRU block.
+        """
+        counters = self._set_counters[set_index]
+        state = self._cores[core_id]
+        policy = self._policies[set_index]
+        lines = self._lines[set_index]
+
+        if counters[core_id] >= state.target_ways and counters[core_id] > 0:
+            own = self._ways_of(set_index, lambda c: c == core_id)
+            return policy.victim(own)
+
+        scopes = (
+            self._ways_of(
+                set_index,
+                lambda c: self._cores[c].partition_class
+                is PartitionClass.UNASSIGNED,
+            ),
+            self._ways_of(
+                set_index,
+                lambda c: self._cores[c].partition_class
+                is PartitionClass.RESERVED
+                and counters[c] > self._cores[c].target_ways,
+            ),
+            self._ways_of(
+                set_index,
+                lambda c: self._cores[c].partition_class
+                is PartitionClass.BEST_EFFORT
+                and counters[c] > self._cores[c].target_ways,
+            ),
+            self._ways_of(
+                set_index,
+                lambda c: self._cores[c].partition_class
+                is PartitionClass.BEST_EFFORT,
+            ),
+            [way for way, line in enumerate(lines) if line.valid],
+        )
+        for candidates in scopes:
+            if candidates:
+                return policy.victim(candidates)
+        raise AssertionError("unreachable: full set has valid lines")
+
+    def _ways_of(self, set_index: int, predicate) -> Sequence[int]:
+        """Ways in ``set_index`` whose valid block's owner satisfies ``predicate``."""
+        return [
+            way
+            for way, line in enumerate(self._lines[set_index])
+            if line.valid and predicate(line.core_id)
+        ]
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError(
+                f"core_id {core_id} out of range [0, {self.num_cores})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        targets = [state.target_ways for state in self._cores]
+        return f"WayPartitionedCache({self.name}, {self.geometry}, targets={targets})"

@@ -1,0 +1,175 @@
+"""Duplicate (shadow) tag arrays with set sampling.
+
+Section 4.3 of the paper: to bound the miss-rate increase that resource
+stealing inflicts on an Elastic(X) job, the hardware keeps a *duplicate
+tag array* that tracks what the job's cache partition would contain had
+no ways been stolen.  Both tag arrays observe the same access stream, so
+only their miss counts differ; when cumulative misses in the main tags
+exceed the duplicate tags' by X%, stealing is cancelled.
+
+To keep storage low the duplicate tags use *set sampling*: only every
+``sample_period``-th set is duplicated (the paper samples every 8th set,
+covering 1/8 of sets) and the sampled sets' behaviour stands in for the
+whole cache.  For an apples-to-apples comparison this module counts the
+main cache's misses on the *same sampled sets*, so the comparison is
+exact on the sample rather than mixing sampled and unsampled traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.util.validation import check_positive
+
+
+class ShadowTagArray:
+    """Sampled duplicate tags for one core's baseline partition.
+
+    Parameters
+    ----------
+    geometry:
+        Geometry of the main shared cache being shadowed.
+    baseline_ways:
+        The job's original (pre-stealing) way allocation; the shadow
+        simulates an LRU partition of exactly this many ways per set.
+    sample_period:
+        Every ``sample_period``-th set is duplicated (8 in the paper).
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        baseline_ways: int,
+        *,
+        sample_period: int = 8,
+    ) -> None:
+        check_positive("sample_period", sample_period)
+        if not 1 <= baseline_ways <= geometry.associativity:
+            raise ValueError(
+                f"baseline_ways {baseline_ways} out of range "
+                f"[1, {geometry.associativity}]"
+            )
+        if sample_period > geometry.num_sets:
+            raise ValueError(
+                f"sample_period {sample_period} exceeds the number of sets "
+                f"({geometry.num_sets})"
+            )
+        self.geometry = geometry
+        self.baseline_ways = baseline_ways
+        self.sample_period = sample_period
+        # MRU-first tag lists, only for sampled sets.
+        self._tags: Dict[int, List[int]] = {
+            set_index: []
+            for set_index in range(0, geometry.num_sets, sample_period)
+        }
+        self.sampled_accesses = 0
+        self.shadow_misses = 0
+        self.main_misses = 0
+
+    @property
+    def num_sampled_sets(self) -> int:
+        """How many sets the duplicate tags cover."""
+        return len(self._tags)
+
+    def is_sampled(self, address: int) -> bool:
+        """Return True if ``address`` maps to a duplicated set."""
+        return self.geometry.set_index(address) in self._tags
+
+    # -- observation --------------------------------------------------------
+
+    def observe(self, address: int, main_hit: bool) -> Optional[bool]:
+        """Present one main-cache access by the shadowed core.
+
+        ``main_hit`` is the outcome the access had in the *main* tags.
+        Returns the shadow outcome (True = shadow hit) for sampled sets,
+        or ``None`` when the set is not duplicated (the access is then
+        ignored entirely).
+        """
+        set_index = self.geometry.set_index(address)
+        tags = self._tags.get(set_index)
+        if tags is None:
+            return None
+        self.sampled_accesses += 1
+        if not main_hit:
+            self.main_misses += 1
+
+        tag = self.geometry.tag(address)
+        if tag in tags:
+            tags.remove(tag)
+            tags.insert(0, tag)
+            return True
+        self.shadow_misses += 1
+        tags.insert(0, tag)
+        if len(tags) > self.baseline_ways:
+            tags.pop()
+        return False
+
+    # -- the stealing criterion ----------------------------------------------
+
+    def miss_increase_fraction(self) -> float:
+        """Cumulative extra misses of the main tags relative to the shadow.
+
+        ``(main_misses - shadow_misses) / shadow_misses`` on the sampled
+        sets, since the start of observation.  The paper compares this
+        against the Elastic job's slack X.  Returns 0.0 before any
+        shadow miss (nothing to normalise against), and never returns a
+        negative value — the main cache can only do as well as or worse
+        than its own unstolen baseline, but sampling noise could
+        otherwise produce a small negative.
+        """
+        if self.shadow_misses == 0:
+            return 0.0
+        increase = (self.main_misses - self.shadow_misses) / self.shadow_misses
+        return max(0.0, increase)
+
+    def exceeds_slack(self, slack_fraction: float) -> bool:
+        """True if the cumulative miss increase meets or exceeds ``slack_fraction``.
+
+        This is the cancel condition of Section 4.3: when it fires, all
+        stolen ways must be returned to the Elastic(X) job.
+        """
+        if slack_fraction < 0:
+            raise ValueError(
+                f"slack_fraction must be non-negative, got {slack_fraction}"
+            )
+        if self.shadow_misses == 0:
+            return False
+        return self.miss_increase_fraction() >= slack_fraction
+
+    def reset(self, baseline_ways: Optional[int] = None) -> None:
+        """Clear all tags and counters for a new Elastic(X) job.
+
+        Optionally changes the baseline partition size (a new job may
+        have requested a different allocation).
+        """
+        if baseline_ways is not None:
+            if not 1 <= baseline_ways <= self.geometry.associativity:
+                raise ValueError(
+                    f"baseline_ways {baseline_ways} out of range "
+                    f"[1, {self.geometry.associativity}]"
+                )
+            self.baseline_ways = baseline_ways
+        for tags in self._tags.values():
+            tags.clear()
+        self.sampled_accesses = 0
+        self.shadow_misses = 0
+        self.main_misses = 0
+
+    def storage_overhead_fraction(self) -> float:
+        """Tag storage of the shadow relative to the full main tag array.
+
+        With every 8th set sampled and ``baseline_ways`` of 16 ways
+        duplicated, this is at most 1/8 — the economy that motivates set
+        sampling in the paper.
+        """
+        shadow_entries = self.num_sampled_sets * self.baseline_ways
+        main_entries = self.geometry.num_sets * self.geometry.associativity
+        return shadow_entries / main_entries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShadowTagArray(ways={self.baseline_ways}, "
+            f"period={self.sample_period}, sets={self.num_sampled_sets}, "
+            f"main_misses={self.main_misses}, shadow_misses={self.shadow_misses})"
+        )

@@ -1,0 +1,283 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5 bzip2          # Figure 5 panels for a workload
+    python -m repro fig5 Mix-1          # or a Table 3 mix
+    python -m repro fig7                # All-Strict vs AutoDown traces
+    python -m repro fig1                # the motivation series
+    python -m repro curves bzip2 hmmer  # print miss-ratio curves
+    python -m repro fig4                # the sensitivity scatter
+    python -m repro cluster --size      # capacity-plan a server
+
+The heavier figures profile their benchmarks on first use (a few
+seconds each); curves are memoised for the life of the process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.export import results_to_dict, write_json
+from repro.analysis.gantt import render_gantt
+from repro.analysis.report import (
+    deadline_table,
+    sensitivity_table,
+    throughput_table,
+    trace_table,
+    wall_clock_table,
+)
+from repro.analysis.runner import run_all_configurations
+from repro.analysis.sensitivity import sensitivity_points
+from repro.util.tables import format_table
+from repro.workloads.benchmarks import BENCHMARKS, get_benchmark
+from repro.core.cluster import ClusterJobProfile, ClusterSimulator, size_cluster
+from repro.core.spec import PRESET_TARGETS
+from repro.workloads.profiler import get_curve, load_curves, save_curves
+
+WORKLOAD_CHOICES = sorted(BENCHMARKS) + ["Mix-1", "Mix-2"]
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print("benchmarks:", ", ".join(sorted(BENCHMARKS)))
+    print("mixes: Mix-1, Mix-2")
+    print(
+        "commands: fig1, fig4, fig5 <workload>, fig6 <workload>, "
+        "fig7 [workload], curves <benchmarks...>"
+    )
+    return 0
+
+
+def _cmd_fig1(_: argparse.Namespace) -> int:
+    profile = get_benchmark("bzip2")
+    curve = get_curve(profile)
+    model = profile.cpi_model()
+    solo = model.ipc(curve.mpi(16))
+    target = solo * 2 / 3
+    rows = []
+    for instances in (1, 2, 3, 4):
+        ipc = model.ipc(curve.mpi(16 / instances))
+        rows.append(
+            [instances, ipc, "met" if ipc >= target else "MISSED"]
+        )
+    print(
+        format_table(
+            ["instances", "per-instance IPC", f"target {target:.3f}"],
+            rows,
+            title="Figure 1 — bzip2 under equal partitioning",
+        )
+    )
+    return 0
+
+
+def _cmd_fig4(_: argparse.Namespace) -> int:
+    print("profiling all fifteen benchmarks …", file=sys.stderr)
+    points = sensitivity_points()
+    print(sensitivity_table(points, title="Figure 4 — sensitivity"))
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    curves = load_curves(args.curves) if args.curves else None
+    results = run_all_configurations(args.workload, curves=curves)
+    print(deadline_table(results, title=f"Figure 5a — {args.workload}"))
+    print()
+    print(throughput_table(results, title=f"Figure 5b — {args.workload}"))
+    if args.json:
+        path = write_json(results_to_dict(results), args.json)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    results = run_all_configurations(args.workload)
+    for config, result in results.items():
+        print(wall_clock_table(result, title=f"Figure 6 — {config}"))
+        print()
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    results = run_all_configurations(
+        args.workload,
+        configurations=["All-Strict", "All-Strict+AutoDown"],
+        record_trace=True,
+    )
+    for config, result in results.items():
+        print(f"Figure 7 — {config}")
+        print(render_gantt(result.jobs, result.trace))
+        print()
+        print(trace_table(result, title=f"{config} — job details"))
+        print(
+            f"makespan: {result.makespan_cycles / 1e6:.0f} Mcycles\n"
+        )
+    return 0
+
+
+def _cmd_curves(args: argparse.Namespace) -> int:
+    for name in args.benchmarks:
+        curve = get_curve(get_benchmark(name))
+        rows = [
+            [ways, curve.points[ways], curve.mpi(ways)]
+            for ways in sorted(curve.points)
+            if ways > 0
+        ]
+        print(
+            format_table(
+                ["ways", "miss rate", "misses/instruction"],
+                rows,
+                title=f"miss-ratio curve — {name}",
+                float_format=".4f",
+            )
+        )
+        print()
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile miss-ratio curves and save them for later runs."""
+    names = args.benchmarks if args.benchmarks else sorted(BENCHMARKS)
+    unknown = sorted(set(names) - set(BENCHMARKS))
+    if unknown:
+        print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    curves = {}
+    for name in names:
+        print(f"profiling {name} …", file=sys.stderr)
+        curves[name] = get_curve(get_benchmark(name))
+    path = save_curves(curves, args.out)
+    print(f"wrote {len(curves)} curve(s) to {path}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """Capacity-plan a CMP server for a gold/silver mix (Figure 2)."""
+    profiles = [
+        ClusterJobProfile(
+            name="gold",
+            weight=0.3,
+            resources=PRESET_TARGETS["large"],
+            mean_wall_clock=1.0,
+            deadline_multiplier=1.2,
+        ),
+        ClusterJobProfile(
+            name="silver",
+            weight=0.7,
+            resources=PRESET_TARGETS["medium"],
+            mean_wall_clock=0.6,
+            deadline_multiplier=2.0,
+        ),
+    ]
+    if args.size:
+        nodes = size_cluster(
+            profiles=profiles,
+            mean_interarrival=args.interarrival,
+            target_acceptance=args.target,
+        )
+        print(
+            f"smallest cluster for {args.target:.0%} acceptance at mean "
+            f"inter-arrival {args.interarrival}s: {nodes} node(s)"
+        )
+        return 0
+    report = ClusterSimulator(
+        num_nodes=args.nodes,
+        profiles=profiles,
+        mean_interarrival=args.interarrival,
+    ).run(horizon=50.0)
+    print(
+        f"{args.nodes} node(s): accepted {report.accepted}/"
+        f"{report.submitted} ({report.acceptance_rate:.0%}), mean core "
+        f"load {report.mean_load:.0%}, counter-offers "
+        f"{report.counter_offers}"
+    )
+    for name in ("gold", "silver"):
+        print(
+            f"  {name}: {report.class_acceptance_rate(name):.0%} accepted"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from the MICRO 2007 CMP QoS paper",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list workloads and commands")
+
+    commands.add_parser("fig1", help="Figure 1 motivation series")
+    commands.add_parser("fig4", help="Figure 4 sensitivity scatter")
+
+    fig5 = commands.add_parser("fig5", help="Figure 5 panels")
+    fig5.add_argument("workload", choices=WORKLOAD_CHOICES)
+    fig5.add_argument(
+        "--json", help="also write the results to this JSON file"
+    )
+    fig5.add_argument(
+        "--curves", help="load pre-profiled curves from this JSON file"
+    )
+
+    fig6 = commands.add_parser("fig6", help="Figure 6 wall-clock candles")
+    fig6.add_argument("workload", choices=WORKLOAD_CHOICES)
+
+    fig7 = commands.add_parser("fig7", help="Figure 7 execution traces")
+    fig7.add_argument(
+        "workload", nargs="?", default="bzip2", choices=WORKLOAD_CHOICES
+    )
+
+    curves = commands.add_parser("curves", help="print miss-ratio curves")
+    curves.add_argument(
+        "benchmarks", nargs="+", choices=sorted(BENCHMARKS)
+    )
+
+    profile = commands.add_parser(
+        "profile", help="profile miss-ratio curves to a JSON file"
+    )
+    profile.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmarks to profile (default: all fifteen)",
+    )
+    profile.add_argument("--out", default="curves.json")
+
+    cluster = commands.add_parser(
+        "cluster", help="capacity-plan a multi-node server (Figure 2)"
+    )
+    cluster.add_argument("--nodes", type=int, default=4)
+    cluster.add_argument(
+        "--interarrival", type=float, default=0.3,
+        help="mean job inter-arrival time in seconds",
+    )
+    cluster.add_argument(
+        "--size", action="store_true",
+        help="find the smallest cluster meeting --target acceptance",
+    )
+    cluster.add_argument("--target", type=float, default=0.95)
+    return parser
+
+
+HANDLERS = {
+    "list": _cmd_list,
+    "fig1": _cmd_fig1,
+    "fig4": _cmd_fig4,
+    "fig5": _cmd_fig5,
+    "fig6": _cmd_fig6,
+    "fig7": _cmd_fig7,
+    "curves": _cmd_curves,
+    "cluster": _cmd_cluster,
+    "profile": _cmd_profile,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""Admission advisor: what to do when a job cannot be admitted as-is.
+
+Section 3.3 expects *users* to pick execution modes, and Section 3.1's
+GAC "negotiates with the user for another acceptable QoS target" on
+rejection.  This module packages that negotiation into one call: given
+a job and a node, :func:`advise` returns the admission options, each a
+concrete, re-submittable target —
+
+1. as requested (when it fits);
+2. the same resources under an interchangeable *Elastic(X)* downgrade
+   (X derived from the job's own time slack, Section 3.3's formula);
+3. Opportunistic execution (no guarantee, always admissible);
+4. the original mode with the earliest deadline the node could honour
+   (the GAC counter-offer).
+
+Every reserved-mode option returned has been admission-*tested* (a
+trial reservation is made and immediately cancelled), so acting on an
+option cannot fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.admission import LocalAdmissionController
+from repro.core.job import Job
+from repro.core.modes import (
+    ExecutionMode,
+    ModeKind,
+    downgrade_to_elastic,
+)
+from repro.core.spec import QoSTarget, TimeslotRequest
+
+
+@dataclass(frozen=True)
+class AdmissionOption:
+    """One concrete way the job could be admitted."""
+
+    description: str
+    target: QoSTarget
+    reserved_start: Optional[float]
+    guaranteed: bool
+
+    @property
+    def mode(self) -> ExecutionMode:
+        """The option's execution mode."""
+        return self.target.mode
+
+
+def _trial(
+    lac: LocalAdmissionController,
+    job: Job,
+    target: QoSTarget,
+    *,
+    now: float,
+) -> Optional[float]:
+    """Admission-test ``target`` without keeping the reservation.
+
+    Returns the reserved start on success, ``None`` otherwise.
+    """
+    trial_job = Job(
+        job_id=job.job_id,
+        benchmark=job.benchmark,
+        target=target,
+        arrival_time=now,
+        instructions=job.instructions,
+    )
+    decision = lac.admit(trial_job, now=now)
+    if not decision.accepted:
+        return None
+    start = decision.reserved_start
+    if decision.reservation is not None:
+        lac.cancel(decision.reservation)
+    return start if start is not None else now
+
+
+def advise(
+    lac: LocalAdmissionController,
+    job: Job,
+    *,
+    now: float,
+) -> List[AdmissionOption]:
+    """Enumerate admissible targets for ``job`` on ``lac``.
+
+    Options are ordered strongest-first: the original request, then
+    interchangeable downgrades, then the deadline counter-offer, then
+    Opportunistic.  The list is never empty (Opportunistic always
+    admits) unless the request exceeds the node's very capacity, in
+    which case it is empty — no target shaped like this one can ever
+    run here.
+    """
+    if not job.target.resources.fits_within(lac.capacity):
+        return []
+    options: List[AdmissionOption] = []
+    timeslot = job.target.timeslot
+
+    # 1. As requested.
+    start = _trial(lac, job, job.target, now=now)
+    if start is not None:
+        options.append(
+            AdmissionOption(
+                description="as requested",
+                target=job.target,
+                reserved_start=start,
+                guaranteed=job.target.mode.reserves_resources,
+            )
+        )
+
+    # 2. Interchangeable Elastic downgrade (Strict jobs with slack).
+    if (
+        timeslot is not None
+        and timeslot.deadline is not None
+        and job.target.mode.kind is ModeKind.STRICT
+    ):
+        elastic = downgrade_to_elastic(
+            now, timeslot.deadline, timeslot.max_wall_clock
+        )
+        if elastic is not None:
+            target = job.target.with_mode(elastic)
+            start = _trial(lac, job, target, now=now)
+            if start is not None and not any(
+                o.description == "as requested" for o in options
+            ):
+                options.append(
+                    AdmissionOption(
+                        description=(
+                            f"downgrade to {elastic.describe()} "
+                            "(same deadline, stealable)"
+                        ),
+                        target=target,
+                        reserved_start=start,
+                        guaranteed=True,
+                    )
+                )
+
+    # 3. Deadline counter-offer in the original mode.
+    if (
+        timeslot is not None
+        and job.target.mode.reserves_resources
+        and not any(o.description == "as requested" for o in options)
+    ):
+        duration = job.target.mode.reservation_duration(
+            timeslot.max_wall_clock
+        )
+        start = lac.earliest_fit(
+            job.target.resources, duration, not_before=now
+        )
+        if start is not None:
+            relaxed = QoSTarget(
+                job.target.resources,
+                TimeslotRequest(
+                    max_wall_clock=timeslot.max_wall_clock,
+                    deadline=start + duration,
+                ),
+                job.target.mode,
+            )
+            confirmed = _trial(lac, job, relaxed, now=now)
+            if confirmed is not None:
+                options.append(
+                    AdmissionOption(
+                        description=(
+                            f"keep {job.target.mode.describe()}, relax "
+                            f"deadline to {start + duration:.6g}"
+                        ),
+                        target=relaxed,
+                        reserved_start=confirmed,
+                        guaranteed=True,
+                    )
+                )
+
+    # 4. Opportunistic: always admissible, never guaranteed.
+    if job.target.mode.kind is not ModeKind.OPPORTUNISTIC:
+        options.append(
+            AdmissionOption(
+                description="run Opportunistically (no guarantee)",
+                target=job.target.with_mode(
+                    ExecutionMode.opportunistic()
+                ),
+                reserved_start=None,
+                guaranteed=False,
+            )
+        )
+    return options

@@ -1,0 +1,138 @@
+"""Evaluation configurations (Table 2 of the paper).
+
+Five configurations drive the evaluation:
+
+==================== =========================================================
+All-Strict            100% Strict jobs (the QoS baseline).
+Hybrid-1              70% Strict + 30% Opportunistic.
+Hybrid-2              40% Strict + 30% Elastic(5%) + 30% Opportunistic.
+All-Strict+AutoDown   100% Strict; jobs with moderate or relaxed deadlines
+                      are automatically downgraded (run Opportunistically
+                      until their late-placed reserved timeslot).
+EqualPart             No admission control, default Linux-like scheduling,
+                      L2 equally partitioned among cores (mimics Virtual
+                      Private Caches without admission control).
+==================== =========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.util.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class ModeMixConfig:
+    """One Table 2 configuration."""
+
+    name: str
+    strict_fraction: float
+    elastic_fraction: float = 0.0
+    opportunistic_fraction: float = 0.0
+    elastic_slack: float = 0.05
+    auto_downgrade: bool = False
+    equal_partition: bool = False
+
+    def __post_init__(self) -> None:
+        check_fraction("strict_fraction", self.strict_fraction)
+        check_fraction("elastic_fraction", self.elastic_fraction)
+        check_fraction("opportunistic_fraction", self.opportunistic_fraction)
+        total = (
+            self.strict_fraction
+            + self.elastic_fraction
+            + self.opportunistic_fraction
+        )
+        if not self.equal_partition and abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"mode fractions must sum to 1, got {total} in {self.name}"
+            )
+        if self.elastic_fraction > 0:
+            check_fraction("elastic_slack", self.elastic_slack)
+
+    @property
+    def uses_admission_control(self) -> bool:
+        """EqualPart is the only configuration without a LAC."""
+        return not self.equal_partition
+
+    def mode_sequence(self, count: int) -> List[ExecutionMode]:
+        """Deterministically assign modes to ``count`` jobs by fraction.
+
+        Greedy largest-deficit assignment: at each position the mode
+        furthest behind its target share is chosen.  This interleaves
+        modes (S O S S O …) rather than batching them, matching the
+        paper's mixed arrival streams, and is exactly reproducible.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        fractions = {
+            ModeKind.STRICT: self.strict_fraction,
+            ModeKind.ELASTIC: self.elastic_fraction,
+            ModeKind.OPPORTUNISTIC: self.opportunistic_fraction,
+        }
+        # EqualPart runs everything unreserved; model jobs as Strict
+        # requests that simply bypass admission.
+        if self.equal_partition:
+            return [ExecutionMode.strict() for _ in range(count)]
+        assigned = {kind: 0 for kind in fractions}
+        sequence: List[ExecutionMode] = []
+        for position in range(1, count + 1):
+            deficits = {
+                kind: fraction * position - assigned[kind]
+                for kind, fraction in fractions.items()
+                if fraction > 0
+            }
+            kind = max(
+                sorted(deficits, key=lambda k: k.value),
+                key=lambda k: deficits[k],
+            )
+            assigned[kind] += 1
+            if kind is ModeKind.ELASTIC:
+                sequence.append(ExecutionMode.elastic(self.elastic_slack))
+            elif kind is ModeKind.STRICT:
+                sequence.append(ExecutionMode.strict())
+            else:
+                sequence.append(ExecutionMode.opportunistic())
+        return sequence
+
+
+ALL_STRICT = ModeMixConfig(name="All-Strict", strict_fraction=1.0)
+
+HYBRID_1 = ModeMixConfig(
+    name="Hybrid-1",
+    strict_fraction=0.7,
+    opportunistic_fraction=0.3,
+)
+
+HYBRID_2 = ModeMixConfig(
+    name="Hybrid-2",
+    strict_fraction=0.4,
+    elastic_fraction=0.3,
+    opportunistic_fraction=0.3,
+    elastic_slack=0.05,
+)
+
+ALL_STRICT_AUTODOWN = ModeMixConfig(
+    name="All-Strict+AutoDown",
+    strict_fraction=1.0,
+    auto_downgrade=True,
+)
+
+EQUAL_PART = ModeMixConfig(
+    name="EqualPart",
+    strict_fraction=1.0,
+    equal_partition=True,
+)
+
+CONFIGURATIONS: Dict[str, ModeMixConfig] = {
+    config.name: config
+    for config in (
+        ALL_STRICT,
+        HYBRID_1,
+        HYBRID_2,
+        ALL_STRICT_AUTODOWN,
+        EQUAL_PART,
+    )
+}

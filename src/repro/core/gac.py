@@ -1,0 +1,154 @@
+"""The Global Admission Controller (Section 3.1).
+
+A server platform consists of multiple CMP nodes, each with its own
+Local Admission Controller.  The GAC receives newly submitted jobs,
+probes each node's LAC for a feasible reservation, and places the job
+on the first node that can satisfy its QoS target.  When no node can,
+the job is rejected — or, as the paper suggests, the GAC can *negotiate*
+by proposing the earliest deadline some node could honour.
+
+The paper scopes its evaluation to a single node's LAC; the GAC here is
+the straightforward realisation of the architecture in Figure 2, used
+by the server-consolidation example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.admission import AdmissionDecision, LocalAdmissionController
+from repro.core.job import Job
+from repro.core.modes import ModeKind
+from repro.core.spec import QoSTarget, TimeslotRequest
+
+
+@dataclass(frozen=True)
+class NodeProbeResult:
+    """One node's answer to a GAC probe."""
+
+    node_index: int
+    decision: AdmissionDecision
+
+
+@dataclass(frozen=True)
+class PlacementResult:
+    """The GAC's overall outcome for one job."""
+
+    accepted: bool
+    node_index: Optional[int]
+    decision: Optional[AdmissionDecision]
+    probes: Sequence[NodeProbeResult]
+    counter_offer_deadline: Optional[float] = None
+
+
+class GlobalAdmissionController:
+    """Places jobs across CMP nodes by probing their LACs.
+
+    Two placement policies:
+
+    - ``first_fit`` (default): probe nodes in order, take the first
+      acceptance — the minimal policy the paper's Figure 2 implies.
+    - ``least_loaded``: probe the nodes in ascending order of their
+      current core load, spreading reservations so bursts of large
+      jobs find headroom somewhere.
+    """
+
+    PLACEMENT_POLICIES = ("first_fit", "least_loaded")
+
+    def __init__(
+        self,
+        nodes: Sequence[LocalAdmissionController],
+        *,
+        placement_policy: str = "first_fit",
+    ) -> None:
+        if not nodes:
+            raise ValueError("the GAC needs at least one CMP node")
+        if placement_policy not in self.PLACEMENT_POLICIES:
+            raise ValueError(
+                f"placement_policy must be one of "
+                f"{self.PLACEMENT_POLICIES}, got {placement_policy!r}"
+            )
+        self.nodes: List[LocalAdmissionController] = list(nodes)
+        self.placement_policy = placement_policy
+
+    def _probe_order(self, now: float) -> List[int]:
+        indices = list(range(len(self.nodes)))
+        if self.placement_policy == "least_loaded":
+            indices.sort(
+                key=lambda i: (
+                    self.nodes[i].used_at(now).cores,
+                    self.nodes[i].used_at(now).cache_ways,
+                    i,
+                )
+            )
+        return indices
+
+    def place(
+        self, job: Job, *, now: float, auto_downgrade: bool = False
+    ) -> PlacementResult:
+        """Probe nodes (in policy order); admit on the first feasible one.
+
+        When every node refuses and the job has a deadline, a
+        counter-offer deadline is computed (the negotiation avenue in
+        Section 3.1): the earliest completion some node could guarantee
+        if the user relaxed the deadline.
+        """
+        probes: List[NodeProbeResult] = []
+        for index in self._probe_order(now):
+            node = self.nodes[index]
+            decision = node.admit(job, now=now, auto_downgrade=auto_downgrade)
+            probes.append(NodeProbeResult(index, decision))
+            if decision.accepted:
+                return PlacementResult(True, index, decision, probes)
+        counter = self._counter_offer(job, now)
+        return PlacementResult(False, None, None, probes, counter)
+
+    def _counter_offer(self, job: Job, now: float) -> Optional[float]:
+        """Earliest deadline any node could satisfy, ignoring the current one."""
+        if job.target.timeslot is None:
+            return None
+        mode = job.target.mode
+        if mode.kind is ModeKind.OPPORTUNISTIC:
+            return None
+        duration = mode.reservation_duration(job.target.timeslot.max_wall_clock)
+        best: Optional[float] = None
+        for node in self.nodes:
+            start = node.earliest_fit(
+                job.target.resources, duration, not_before=now
+            )
+            if start is None:
+                continue
+            completion = start + duration
+            if best is None or completion < best:
+                best = completion
+        return best
+
+    def renegotiated_target(
+        self, job: Job, *, now: float
+    ) -> Optional[QoSTarget]:
+        """A copy of the job's target with the counter-offer deadline.
+
+        Returns ``None`` when no node can ever fit the request (the
+        request exceeds every node's capacity).
+        """
+        offer = self._counter_offer(job, now)
+        if offer is None or job.target.timeslot is None:
+            return None
+        relaxed = TimeslotRequest(
+            max_wall_clock=job.target.timeslot.max_wall_clock,
+            deadline=offer,
+        )
+        return QoSTarget(job.target.resources, relaxed, job.target.mode)
+
+    def total_capacity_cores(self) -> int:
+        """Aggregate core count over all nodes."""
+        return sum(node.capacity.cores for node in self.nodes)
+
+    def load_at(self, time: float) -> float:
+        """Fraction of aggregate cores reserved at ``time``."""
+        total = self.total_capacity_cores()
+        if total == 0:
+            return 0.0
+        used = sum(node.used_at(time).cores for node in self.nodes)
+        return used / total

@@ -1,0 +1,194 @@
+"""A prior-work-style IPC-target resource manager (Section 1/Figure 1).
+
+The paper's introduction describes earlier QoS frameworks in which
+applications specify IPC targets and a resource manager "dynamically
+partitions shared resources in order to meet each application's QoS
+target" — and shows in Figure 1 why that is insufficient: nothing
+checks whether the demanded capacity exists, and nothing refuses jobs
+when it does not.
+
+This module implements that manager faithfully, so the failure can be
+reproduced and contrasted with the paper's framework:
+
+- Each job brings an IPC target plus its (run-time-profiled)
+  miss-ratio curve and CPI model — the "elaborate performance model"
+  the paper says IPC targets force the system to maintain.
+- :meth:`rebalance` greedily hands out cache ways, one at a time, to
+  the job farthest from its target (the greedy search of the prior
+  work the paper cites).
+- :meth:`feasibility` reports which targets the best allocation still
+  misses — the information an admission controller would have needed
+  *before* accepting the jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.cpu.cpi import CpiModel
+from repro.util.validation import check_positive
+from repro.workloads.profiler import MissRatioCurve
+
+
+@dataclass(frozen=True)
+class IpcManagedJob:
+    """One job under IPC-target management."""
+
+    job_id: int
+    target_ipc: float
+    curve: MissRatioCurve
+    cpi_model: CpiModel
+
+    def __post_init__(self) -> None:
+        check_positive("target_ipc", self.target_ipc)
+
+    def ipc_at(self, ways: int) -> float:
+        """Predicted IPC at an allocation of ``ways``."""
+        return self.cpi_model.ipc(self.curve.mpi(ways))
+
+
+@dataclass(frozen=True)
+class RebalanceResult:
+    """Outcome of one greedy repartitioning pass."""
+
+    allocation: Dict[int, int]  # job_id -> ways
+    achieved_ipc: Dict[int, float]
+    targets_met: Dict[int, bool]
+
+    @property
+    def all_met(self) -> bool:
+        """True when every job's IPC target is satisfied."""
+        return all(self.targets_met.values())
+
+    @property
+    def met_count(self) -> int:
+        """How many jobs meet their targets."""
+        return sum(self.targets_met.values())
+
+
+class IpcTargetManager:
+    """Greedy IPC-driven cache partitioner without admission control."""
+
+    def __init__(self, total_ways: int, *, min_ways_per_job: int = 1) -> None:
+        check_positive("total_ways", total_ways)
+        check_positive("min_ways_per_job", min_ways_per_job)
+        self.total_ways = total_ways
+        self.min_ways_per_job = min_ways_per_job
+        self._jobs: List[IpcManagedJob] = []
+
+    def add_job(self, job: IpcManagedJob) -> None:
+        """Accept a job unconditionally — the prior-work flaw.
+
+        There is no admission test: the manager will try its best and
+        simply fail to deliver when capacity is short.
+        """
+        if any(j.job_id == job.job_id for j in self._jobs):
+            raise ValueError(f"job {job.job_id} already managed")
+        if len(self._jobs) * self.min_ways_per_job >= self.total_ways:
+            # Even giving everyone the minimum exhausts the cache; the
+            # manager still accepts (it has no admission policy), the
+            # newcomer just shares the floor.
+            pass
+        self._jobs.append(job)
+
+    def remove_job(self, job_id: int) -> None:
+        """A job departed."""
+        before = len(self._jobs)
+        self._jobs = [j for j in self._jobs if j.job_id != job_id]
+        if len(self._jobs) == before:
+            raise ValueError(f"job {job_id} is not managed")
+
+    @property
+    def jobs(self) -> Sequence[IpcManagedJob]:
+        """Jobs currently managed."""
+        return tuple(self._jobs)
+
+    # -- the greedy search ------------------------------------------------------
+
+    def rebalance(self) -> RebalanceResult:
+        """Greedily allocate ways toward the IPC targets.
+
+        Everyone starts at the floor; each remaining way goes to the
+        job with the largest relative IPC *deficit* (targets first),
+        then — once all reachable targets are met — to the job with the
+        best marginal IPC gain.  This is the run-time profiling search
+        the paper cites as evidence of IPC's non-convertibility: it
+        costs a full sweep of every job's miss curve, and it still
+        cannot promise anything.
+        """
+        if not self._jobs:
+            return RebalanceResult({}, {}, {})
+        allocation = {
+            job.job_id: min(
+                self.min_ways_per_job,
+                self.total_ways // len(self._jobs) or 1,
+            )
+            for job in self._jobs
+        }
+        remaining = self.total_ways - sum(allocation.values())
+
+        by_id = {job.job_id: job for job in self._jobs}
+        for _ in range(max(0, remaining)):
+            best_id: Optional[int] = None
+            best_key = None
+            for job in self._jobs:
+                ways = allocation[job.job_id]
+                if ways >= self.total_ways:
+                    continue
+                current = job.ipc_at(ways)
+                deficit = max(0.0, job.target_ipc - current) / job.target_ipc
+                gain = job.ipc_at(ways + 1) - current
+                key = (deficit, gain)
+                if best_key is None or key > best_key:
+                    best_key = key
+                    best_id = job.job_id
+            if best_id is None or best_key == (0.0, 0.0):
+                break
+            allocation[best_id] += 1
+
+        achieved = {
+            job_id: by_id[job_id].ipc_at(ways)
+            for job_id, ways in allocation.items()
+        }
+        met = {
+            job_id: achieved[job_id] >= by_id[job_id].target_ipc - 1e-12
+            for job_id in allocation
+        }
+        return RebalanceResult(allocation, achieved, met)
+
+    # -- what admission control would have known ----------------------------------
+
+    def feasibility(self) -> RebalanceResult:
+        """The best the manager can ever do for the current job set.
+
+        When :attr:`RebalanceResult.all_met` is False here, no dynamic
+        repartitioning can save these jobs — the information the
+        paper's admission controller uses to *reject* instead.
+        """
+        return self.rebalance()
+
+    def max_satisfiable_instances(
+        self, template: IpcManagedJob, *, limit: int = 16
+    ) -> int:
+        """How many copies of ``template`` can all meet their targets.
+
+        The Figure 1 question asked properly: the answer for the
+        paper's bzip2 setup is 2.
+        """
+        for count in range(1, limit + 1):
+            manager = IpcTargetManager(
+                self.total_ways, min_ways_per_job=self.min_ways_per_job
+            )
+            for index in range(count):
+                manager.add_job(
+                    IpcManagedJob(
+                        job_id=index,
+                        target_ipc=template.target_ipc,
+                        curve=template.curve,
+                        cpi_model=template.cpi_model,
+                    )
+                )
+            if not manager.rebalance().all_met:
+                return count - 1
+        return limit

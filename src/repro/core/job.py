@@ -1,0 +1,179 @@
+"""Jobs: the unit of admission and QoS accounting (Section 3.1).
+
+A *job* is an aperiodic computation with its own QoS target — here, one
+instance of a single-threaded benchmark, as in the paper.  The class
+tracks the full lifecycle the evaluation needs: submission, the
+admission decision, mode changes (manual or automatic downgrade and the
+switch-back to Strict), execution progress in instructions, and the
+completion/deadline bookkeeping behind Figures 5–7.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.modes import ExecutionMode
+from repro.core.spec import QoSTarget
+from repro.util.validation import check_non_negative, check_positive
+
+
+class JobState(enum.Enum):
+    """Lifecycle states of a job."""
+
+    SUBMITTED = "submitted"
+    ACCEPTED = "accepted"
+    REJECTED = "rejected"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    TERMINATED = "terminated"
+
+
+@dataclass
+class Job:
+    """One admitted-or-rejected unit of computation."""
+
+    job_id: int
+    benchmark: str
+    target: QoSTarget
+    arrival_time: float
+    instructions: int
+
+    state: JobState = JobState.SUBMITTED
+    current_mode: ExecutionMode = field(init=False)
+    mode_history: List[Tuple[float, ExecutionMode]] = field(default_factory=list)
+    auto_downgraded: bool = False
+    switch_back_time: Optional[float] = None
+
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    terminated_time: Optional[float] = None
+    executed_instructions: int = 0
+    assigned_core: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("arrival_time", self.arrival_time)
+        check_positive("instructions", self.instructions)
+        self.current_mode = self.target.mode
+        self.mode_history.append((self.arrival_time, self.target.mode))
+
+    # -- convenient accessors ---------------------------------------------------
+
+    @property
+    def requested_mode(self) -> ExecutionMode:
+        """The mode the user originally asked for."""
+        return self.target.mode
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """Absolute deadline, if the target includes one."""
+        if self.target.timeslot is None:
+            return None
+        return self.target.timeslot.deadline
+
+    @property
+    def max_wall_clock(self) -> Optional[float]:
+        """The target's maximum wall-clock time ``tw``."""
+        if self.target.timeslot is None:
+            return None
+        return self.target.timeslot.max_wall_clock
+
+    @property
+    def remaining_instructions(self) -> int:
+        """Instructions left to retire."""
+        return max(0, self.instructions - self.executed_instructions)
+
+    @property
+    def is_finished(self) -> bool:
+        """True once all instructions have retired."""
+        return self.executed_instructions >= self.instructions
+
+    @property
+    def wall_clock_time(self) -> Optional[float]:
+        """Start-to-completion duration; ``None`` while unfinished."""
+        if self.start_time is None or self.completion_time is None:
+            return None
+        return self.completion_time - self.start_time
+
+    @property
+    def met_deadline(self) -> Optional[bool]:
+        """Whether the job completed by its deadline.
+
+        ``False`` for terminated jobs (Section 3.2: a job may be
+        terminated when it overruns its maximum wall-clock time — it
+        then never completes).  ``None`` while unfinished or when the
+        job has no deadline (jobs without deadlines trivially cannot
+        miss one and are excluded from hit-rate statistics, as in the
+        paper).
+        """
+        if self.deadline is None:
+            return None
+        if self.state is JobState.TERMINATED:
+            return False
+        if self.completion_time is None:
+            return None
+        return self.completion_time <= self.deadline
+
+    # -- lifecycle transitions -----------------------------------------------------
+
+    def change_mode(self, at_time: float, mode: ExecutionMode) -> None:
+        """Record a mode change (downgrade or switch-back)."""
+        if mode == self.current_mode:
+            return
+        self.current_mode = mode
+        self.mode_history.append((at_time, mode))
+
+    def mark_accepted(self) -> None:
+        """Admission succeeded."""
+        self._require_state(JobState.SUBMITTED)
+        self.state = JobState.ACCEPTED
+
+    def mark_rejected(self) -> None:
+        """Admission failed; the job never runs."""
+        self._require_state(JobState.SUBMITTED)
+        self.state = JobState.REJECTED
+
+    def mark_started(self, at_time: float, core_id: int) -> None:
+        """The job begins executing on ``core_id``."""
+        self._require_state(JobState.ACCEPTED)
+        self.state = JobState.RUNNING
+        self.start_time = at_time
+        self.assigned_core = core_id
+
+    def advance(self, instructions: int) -> None:
+        """Retire ``instructions`` more instructions."""
+        check_non_negative("instructions", instructions)
+        self.executed_instructions += instructions
+
+    def mark_completed(self, at_time: float) -> None:
+        """All instructions retired."""
+        self._require_state(JobState.RUNNING)
+        self.state = JobState.COMPLETED
+        self.completion_time = at_time
+        self.assigned_core = None
+
+    def mark_terminated(self, at_time: float) -> None:
+        """Killed for overrunning its maximum wall-clock time (§3.2).
+
+        The batch-system contract the paper borrows: users expect a job
+        may be terminated past its declared ``tw``.  Terminated jobs
+        never complete and count as deadline misses.
+        """
+        self._require_state(JobState.RUNNING)
+        self.state = JobState.TERMINATED
+        self.terminated_time = at_time
+        self.assigned_core = None
+
+    def _require_state(self, expected: JobState) -> None:
+        if self.state is not expected:
+            raise ValueError(
+                f"job {self.job_id}: expected state {expected.value}, "
+                f"found {self.state.value}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Job(id={self.job_id}, bench={self.benchmark}, "
+            f"mode={self.current_mode.describe()}, state={self.state.value})"
+        )

@@ -1,0 +1,23 @@
+"""Processor-core models.
+
+- :mod:`repro.cpu.cpi` — Luo's additive CPI decomposition used by the
+  paper (Section 4.2) to argue that bounding the L2 miss-rate increase
+  bounds the CPI increase.
+- :mod:`repro.cpu.hierarchy` — the per-core L1 + shared L2 + DRAM access
+  path with per-level latencies.
+- :mod:`repro.cpu.core` — a trace-driven in-order core that executes
+  synthetic memory-access traces against a hierarchy and accumulates
+  cycles with the CPI decomposition.
+"""
+
+from repro.cpu.core import CoreResult, InOrderCore
+from repro.cpu.cpi import CpiModel
+from repro.cpu.hierarchy import AccessOutcome, MemoryHierarchy
+
+__all__ = [
+    "CpiModel",
+    "MemoryHierarchy",
+    "AccessOutcome",
+    "InOrderCore",
+    "CoreResult",
+]

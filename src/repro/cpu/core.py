@@ -1,0 +1,131 @@
+"""Trace-driven in-order core.
+
+Executes a stream of memory accesses (produced by the synthetic
+workload generators) against a :class:`~repro.cpu.hierarchy.MemoryHierarchy`,
+charging ``CPI_L1inf`` cycles of compute per instruction plus the
+measured memory latency per access — the trace-level realisation of
+Luo's CPI model.  Each core runs at the machine clock (2 GHz).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cpu.hierarchy import MemoryHierarchy, ServiceLevel
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference in a trace."""
+
+    address: int
+    is_write: bool = False
+
+
+@dataclass
+class CoreResult:
+    """Cycle and event totals from executing a trace."""
+
+    instructions: int = 0
+    cycles: float = 0.0
+    accesses: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (0.0 before any cycle elapses)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per instruction (0.0 before any instruction retires)."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def l2_mpi(self) -> float:
+        """L2 misses per instruction."""
+        return self.l2_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def l2_miss_rate(self) -> float:
+        """L2 misses over L2 accesses."""
+        l2_accesses = self.l2_hits + self.l2_misses
+        return self.l2_misses / l2_accesses if l2_accesses else 0.0
+
+
+class InOrderCore:
+    """In-order core executing one job's access trace.
+
+    Parameters
+    ----------
+    core_id:
+        Index of this core in the CMP (selects its private L1).
+    hierarchy:
+        The memory hierarchy shared with the other cores.
+    cpi_l1_inf:
+        Compute CPI assuming an infinite L1.
+    instructions_per_access:
+        How many instructions each trace access represents; the
+        reciprocal of the trace's memory-reference density.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        *,
+        cpi_l1_inf: float = 1.0,
+        instructions_per_access: int = 4,
+    ) -> None:
+        check_positive("cpi_l1_inf", cpi_l1_inf)
+        check_positive("instructions_per_access", instructions_per_access)
+        self.core_id = core_id
+        self.hierarchy = hierarchy
+        self.cpi_l1_inf = cpi_l1_inf
+        self.instructions_per_access = instructions_per_access
+        self.result = CoreResult()
+
+    def execute(
+        self,
+        trace: Iterable[MemoryAccess],
+        *,
+        max_accesses: Optional[int] = None,
+    ) -> CoreResult:
+        """Run ``trace`` (optionally truncated) and return cumulative totals.
+
+        The method may be called repeatedly; results accumulate, which
+        lets the simulator interleave execution quanta from different
+        jobs on a timeshared core.
+        """
+        for access in trace:
+            if max_accesses is not None and max_accesses <= 0:
+                break
+            if max_accesses is not None:
+                max_accesses -= 1
+            self._execute_one(access)
+        return self.result
+
+    def _execute_one(self, access: MemoryAccess) -> None:
+        outcome = self.hierarchy.access(
+            self.core_id, access.address, is_write=access.is_write
+        )
+        self.result.accesses += 1
+        self.result.instructions += self.instructions_per_access
+        self.result.cycles += (
+            self.instructions_per_access * self.cpi_l1_inf
+            + outcome.latency_cycles
+        )
+        if outcome.level is ServiceLevel.L1:
+            self.result.l1_hits += 1
+        elif outcome.level is ServiceLevel.L2:
+            self.result.l2_hits += 1
+        else:
+            self.result.l2_misses += 1
+
+    def reset(self) -> None:
+        """Zero the accumulated result (new job on this core)."""
+        self.result = CoreResult()

@@ -1,0 +1,18 @@
+"""Main-memory substrate.
+
+- :mod:`repro.mem.dram` — fixed-latency DRAM model (300 cycles, 4 GB in
+  the machine model) with access accounting.
+- :mod:`repro.mem.bandwidth` — memory-bus bandwidth model (6.4 GB/s
+  peak) with M/M/1-style queueing inflation and the Little's-law
+  saturation guard from footnote 2 of the paper, which is what lets the
+  resource-stealing controller disable itself at bus saturation.
+- :mod:`repro.mem.fair_queue` — start-time fair-queuing bus scheduler,
+  the substrate for bandwidth as a reserved RUM resource (the paper's
+  stated future work, after Nesbit et al.'s VPC memory controller).
+"""
+
+from repro.mem.bandwidth import BandwidthModel
+from repro.mem.dram import DramModel
+from repro.mem.fair_queue import FairQueueBus, FcfsBus
+
+__all__ = ["DramModel", "BandwidthModel", "FairQueueBus", "FcfsBus"]

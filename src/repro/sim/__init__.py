@@ -1,0 +1,34 @@
+"""Full-system discrete-event simulation.
+
+Replaces the paper's Simics full-system setup (DESIGN.md §1):
+
+- :mod:`repro.sim.config` — the Section 6 machine model parameters and
+  simulation knobs, in one place.
+- :mod:`repro.sim.engine` — a minimal deterministic event queue.
+- :mod:`repro.sim.cmp` — a cycle-approximate CMP node binding real
+  caches, cores, and memory together for trace-driven experiments.
+- :mod:`repro.sim.system` — the QoS system simulator: LAC admission,
+  reserved-core pinning, Opportunistic timesharing, automatic mode
+  downgrade, and curve-driven resource stealing.
+- :mod:`repro.sim.equalpart` — the EqualPart baseline: no admission
+  control, Linux-like round-robin timesharing, equal L2 split.
+- :mod:`repro.sim.tracing` — per-job execution segment recording
+  (the Figure 7 traces).
+"""
+
+from repro.sim.config import MachineConfig, SimulationConfig
+from repro.sim.engine import EventQueue
+from repro.sim.equalpart import EqualPartSimulator
+from repro.sim.system import QoSSystemSimulator, SystemResult
+from repro.sim.tracing import ExecutionTrace, TraceSegment
+
+__all__ = [
+    "MachineConfig",
+    "SimulationConfig",
+    "EventQueue",
+    "QoSSystemSimulator",
+    "SystemResult",
+    "EqualPartSimulator",
+    "ExecutionTrace",
+    "TraceSegment",
+]

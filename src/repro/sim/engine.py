@@ -1,0 +1,125 @@
+"""A minimal deterministic discrete-event engine.
+
+Events are ``(time, sequence, callback)`` triples in a binary heap; ties
+in time break by insertion order, which keeps simulations exactly
+reproducible.  Cancellation uses lazy invalidation: cancelled handles
+stay in the heap and are skipped on pop (cheaper than heap surgery, and
+the simulators cancel often when rates change).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+EventCallback = Callable[[float], None]
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: float
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle allowing an event to be cancelled."""
+
+    def __init__(self, entry: _HeapEntry) -> None:
+        self._entry = entry
+
+    @property
+    def time(self) -> float:
+        """The scheduled firing time."""
+        return self._entry.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called."""
+        return self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._entry.cancelled = True
+
+
+class EventQueue:
+    """Priority event queue with a monotone simulated clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[_HeapEntry] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_fired = 0
+
+    def schedule(self, time: float, callback: EventCallback) -> EventHandle:
+        """Schedule ``callback(time)`` to run at simulated ``time``."""
+        if math.isnan(time):
+            raise ValueError("cannot schedule an event at NaN")
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}"
+            )
+        entry = _HeapEntry(time, next(self._sequence), callback)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_after(self, delay: float, callback: EventCallback) -> EventHandle:
+        """Schedule relative to the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next live event; return False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        entry = heapq.heappop(self._heap)
+        self.now = entry.time
+        self.events_fired += 1
+        entry.callback(entry.time)
+        return True
+
+    def run(
+        self,
+        *,
+        until: float = math.inf,
+        max_events: int = 10_000_000,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Drain events until the horizon, a predicate, or exhaustion.
+
+        ``max_events`` is a runaway guard: a simulator bug that
+        reschedules forever raises instead of hanging.
+        """
+        fired = 0
+        while True:
+            if stop_when is not None and stop_when():
+                return
+            next_time = self.peek_time()
+            if next_time is None or next_time > until:
+                return
+            self.step()
+            fired += 1
+            if fired >= max_events:
+                raise RuntimeError(
+                    f"event budget of {max_events} exhausted at simulated "
+                    f"time {self.now}; likely a rescheduling loop"
+                )
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._heap if not entry.cancelled)

@@ -1,0 +1,803 @@
+"""The QoS full-system simulator.
+
+Event-driven reimplementation of the paper's evaluation platform
+(Section 6): a stream of jobs probes the Local Admission Controller at
+Poisson instants; accepted Strict/Elastic jobs get pinned cores and
+reserved cache ways; Opportunistic jobs timeshare the remaining cores
+and the unreserved ("spare") cache ways; Elastic jobs donate ways via
+the resource-stealing controller; All-Strict+AutoDown runs downgradable
+jobs Opportunistically in front of a late-placed reservation.
+
+The queue discipline is the paper's FCFS by default; an EASY-backfill
+extension (``SimulationConfig(queue_policy="backfill")``) may admit a
+later job while the head is blocked whenever doing so provably cannot
+delay the head's earliest possible start.
+
+Timing model
+------------
+Jobs advance at piecewise-constant rates.  While a job holds ``w`` ways
+and a CPU share ``s``, it retires ``s * clock / CPI(mpi(w))``
+instructions per second, where ``mpi(w)`` comes from the benchmark's
+profiled miss-ratio curve and CPI from Luo's model — the same
+decomposition the paper uses to reason about stealing (Section 4.2).
+
+Memory-bus contention inflates the L2 miss penalty of *Opportunistic*
+jobs by an M/M/1 queueing factor; reserved jobs' requests are
+prioritised on the bus (footnote 2 of the paper), so their ``tm`` stays
+uncontended — this is what keeps reserved jobs inside their maximum
+wall-clock times, and with it the framework's 100% deadline hit rate.
+
+Resource stealing is fed by a curve-based miss predictor that plays the
+role of the duplicate tag arrays: cumulative misses at the actual
+allocation versus cumulative misses at the baseline allocation, never
+reset — exactly the quantity the shadow tags measure in
+:mod:`repro.cache.shadow` (where the microarchitectural mechanism is
+implemented and tested for real).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.admission import LocalAdmissionController, Reservation
+from repro.core.config import ModeMixConfig
+from repro.core.job import Job, JobState
+from repro.core.metrics import (
+    DeadlineReport,
+    ThroughputReport,
+    WallClockSummary,
+)
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+from repro.core.stealing import (
+    ResourceStealingController,
+    StealingAction,
+)
+from repro.cpu.cpi import CpiModel
+from repro.sim.config import MachineConfig, SimulationConfig
+from repro.sim.engine import EventHandle, EventQueue
+from repro.sim.tracing import ExecutionTrace
+from repro.util.rng import DeterministicRng
+from repro.workloads.arrival import DeadlinePolicy
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.composer import JobSpec, WorkloadSpec
+from repro.workloads.profiler import MissRatioCurve, get_curve
+
+_PROGRESS_EPSILON = 1e-3  # instructions; tolerance for float completion
+
+
+@dataclass
+class _JobRun:
+    """Mutable per-job simulation state."""
+
+    job: Job
+    spec: JobSpec
+    curve: MissRatioCurve
+    cpi_model: CpiModel
+    tw: float
+    reservation: Optional[Reservation] = None
+    running: bool = False
+    reserved_running: bool = False
+    core_id: int = -1
+    ways: int = 0
+    cpu_share: float = 0.0
+    rate: float = 0.0  # instructions per second
+    progress: float = 0.0  # instructions retired (float-precision)
+    # Elastic stealing state
+    steal: Optional[ResourceStealingController] = None
+    actual_misses: float = 0.0
+    baseline_misses: float = 0.0
+    next_interval_at: float = 0.0  # instruction count of next steal check
+    # Event handles
+    completion_handle: Optional[EventHandle] = None
+    steal_handle: Optional[EventHandle] = None
+
+    def miss_increase_fraction(self) -> float:
+        """Curve-predicted analogue of the shadow-tag comparison."""
+        if self.baseline_misses <= 0.0:
+            return 0.0
+        return max(
+            0.0,
+            (self.actual_misses - self.baseline_misses) / self.baseline_misses,
+        )
+
+
+@dataclass
+class SystemResult:
+    """Everything the benches and tests read out of one simulation."""
+
+    workload_name: str
+    configuration_name: str
+    jobs: List[Job]
+    makespan_seconds: float
+    makespan_cycles: float
+    throughput: ThroughputReport
+    deadline_report: DeadlineReport
+    wall_clock: WallClockSummary
+    trace: ExecutionTrace
+    probes: int
+    rejections: int
+    backfills: int
+    terminations: int
+    steal_transfers: int
+    steal_cancellations: int
+    lac_admission_tests: int
+    lac_candidate_windows: int
+    per_job_ways_history: Dict[int, List[int]] = field(default_factory=dict)
+
+
+class QoSSystemSimulator:
+    """Simulate one workload under one Table 2 QoS configuration.
+
+    Not for EqualPart — that baseline has no admission control and is
+    modelled by :class:`repro.sim.equalpart.EqualPartSimulator`.
+    """
+
+    def __init__(
+        self,
+        workload: WorkloadSpec,
+        *,
+        machine: Optional[MachineConfig] = None,
+        sim_config: Optional[SimulationConfig] = None,
+        curves: Optional[Dict[str, MissRatioCurve]] = None,
+        record_trace: bool = True,
+    ) -> None:
+        if workload.configuration.equal_partition:
+            raise ValueError(
+                "EqualPart workloads run on EqualPartSimulator, not the "
+                "QoS simulator"
+            )
+        self.workload = workload
+        self.machine = machine if machine is not None else MachineConfig()
+        self.sim_config = (
+            sim_config if sim_config is not None else SimulationConfig()
+        )
+        self.config: ModeMixConfig = workload.configuration
+        self.record_trace = record_trace
+
+        self.lac = LocalAdmissionController(
+            ResourceVector(
+                cores=self.machine.num_cores, cache_ways=self.machine.l2_ways
+            )
+        )
+        self.bandwidth = self.machine.make_bandwidth_model()
+        self.events = EventQueue()
+        self.trace = ExecutionTrace()
+        self.rng = DeterministicRng(self.sim_config.seed, "system-sim")
+
+        self._curves = dict(curves) if curves else {}
+        self._pending: List[JobSpec] = list(workload.jobs)
+        self._pending_index = 0
+        self._states: Dict[int, _JobRun] = {}
+        self._accepted: List[Job] = []
+        self._reserved_cores: Dict[int, int] = {}  # core_id -> job_id
+        self._probes = 0
+        self._rejections = 0
+        self._backfills = 0
+        self._terminations = 0
+        self._steal_transfers = 0
+        self._ways_history: Dict[int, List[int]] = {}
+        self._last_advance = 0.0
+        self._finished = False
+        self._bus_saturated = False
+
+    # -- curve and timing helpers -------------------------------------------------
+
+    def _curve_for(self, benchmark: str) -> MissRatioCurve:
+        if benchmark not in self._curves:
+            self._curves[benchmark] = get_curve(
+                get_benchmark(benchmark),
+                num_sets=self.sim_config.profile_num_sets,
+                accesses=self.sim_config.profile_accesses,
+            )
+        return self._curves[benchmark]
+
+    def _wall_clock_at(
+        self, spec: JobSpec, ways: float, *, penalty_multiplier: float = 1.0
+    ) -> float:
+        """Uncontended execution time (seconds) at a fixed allocation."""
+        profile = get_benchmark(spec.benchmark)
+        curve = self._curve_for(spec.benchmark)
+        cpi = profile.cpi_model(
+            l2_latency=self.machine.l2_latency,
+            memory_latency=self.machine.memory_latency,
+        ).cpi(curve.mpi(ways), miss_penalty_multiplier=penalty_multiplier)
+        cycles = self.sim_config.instructions_per_job * cpi
+        return self.machine.cycles_to_seconds(cycles)
+
+    def _mean_probe_gap(self) -> float:
+        reference_tw = sum(
+            self._wall_clock_at(spec, spec.requested_ways)
+            for spec in self.workload.jobs
+        ) / len(self.workload.jobs)
+        return reference_tw * self.sim_config.probe_interarrival_fraction
+
+    # -- main entry ------------------------------------------------------------------
+
+    def run(self) -> SystemResult:
+        """Run to completion of all template jobs and build the result."""
+        self._mean_gap = self._mean_probe_gap()
+        self._probe_rng = self.rng.stream("probes")
+        self.events.schedule(0.0, self._on_probe)
+        self.events.run(stop_when=lambda: self._finished)
+        if not self._finished:
+            raise RuntimeError(
+                "event queue drained before the workload completed; "
+                "simulation deadlocked"
+            )
+        return self._build_result()
+
+    # -- probing and admission ----------------------------------------------------------
+
+    def _on_probe(self, now: float) -> None:
+        self._advance_all(now)
+        if self._pending_index < len(self._pending):
+            self._probes += 1
+            spec = self._pending[self._pending_index]
+            accepted = self._try_admit(spec, now)
+            if accepted:
+                self._pending_index += 1
+            else:
+                self._rejections += 1
+                if self.sim_config.queue_policy == "backfill":
+                    self._try_backfill(now)
+            self._recompute(now)
+        if self._pending_index < len(self._pending):
+            gap = self._probe_rng.exponential(self._mean_gap)
+            self.events.schedule(now + gap, self._on_probe)
+
+    def _try_backfill(self, now: float) -> None:
+        """EASY backfill: admit a later job that cannot delay the head.
+
+        An extension over the paper's plain FCFS LAC (enabled with
+        ``SimulationConfig(queue_policy="backfill")``): when the head of
+        the queue does not fit yet, later pending jobs may be admitted
+        as long as the head's earliest *unconstrained* start does not
+        move — the classic EASY-backfilling criterion from batch
+        scheduling, whose vocabulary (Section 3.2) the paper borrows.
+        """
+        head = self._pending[self._pending_index]
+        head_job, _, _ = self._build_job(head, now)
+        head_resources = head_job.target.resources
+        head_duration = head.mode.reservation_duration(
+            head_job.target.timeslot.max_wall_clock
+        )
+        if head_duration <= 0:
+            return  # an Opportunistic head is never blocked
+        head_before = self.lac.earliest_fit(
+            head_resources, head_duration, not_before=now
+        )
+
+        index = self._pending_index + 1
+        while index < len(self._pending):
+            spec = self._pending[index]
+            job, auto_down, tw = self._build_job(spec, now)
+            decision = self.lac.admit(
+                job, now=now, auto_downgrade=auto_down
+            )
+            if not decision.accepted:
+                index += 1
+                continue
+            head_after = self.lac.earliest_fit(
+                head_resources, head_duration, not_before=now
+            )
+            delays_head = (
+                head_before is not None
+                and (head_after is None or head_after > head_before + 1e-12)
+            )
+            if delays_head:
+                if decision.reservation is not None:
+                    self.lac.cancel(decision.reservation)
+                index += 1
+                continue
+            self._backfills += 1
+            self._register_accepted(job, spec, tw, decision, now, auto_down)
+            del self._pending[index]
+            # Only one backfill per probe: keep the schedule close to
+            # FCFS and re-evaluate the head at the next probe.
+            return
+
+    # Reservations are padded by this relative margin so a job completing
+    # at exactly its maximum wall-clock time finishes strictly inside its
+    # slot — otherwise the next job's dispatch event (scheduled at the
+    # slot boundary) can fire before this job's completion event at the
+    # same simulated instant and transiently oversubscribe the cache.
+    RESERVATION_MARGIN = 1e-6
+
+    def _build_job(self, spec: JobSpec, now: float):
+        """Materialise a :class:`Job` for ``spec`` arriving at ``now``.
+
+        Returns ``(job, auto_down, tw)``; nothing is registered yet.
+        """
+        if spec.max_wall_clock is not None:
+            # The user declared their own limit (the batch-system way);
+            # overruns are terminated at the reservation boundary.
+            tw = spec.max_wall_clock
+        else:
+            tw = self._wall_clock_at(spec, spec.requested_ways)
+        max_wall_clock = tw * (1.0 + self.RESERVATION_MARGIN)
+        # Deadline classes scale the *mode-adjusted* completion promise:
+        # an Elastic(X) user accepted an up-to-X% stretch, so their
+        # "tight" deadline is 1.05x the stretched duration — otherwise
+        # Elastic-with-tight-deadline could never be admitted at all.
+        promised = spec.mode.reservation_duration(max_wall_clock)
+        if promised <= 0.0:  # Opportunistic: no reservation to scale
+            promised = max_wall_clock
+        multiplier = DeadlinePolicy.multiplier(spec.deadline_class)
+        deadline = now + multiplier * promised
+        target = QoSTarget(
+            resources=ResourceVector(
+                cores=spec.requested_cores, cache_ways=spec.requested_ways
+            ),
+            timeslot=TimeslotRequest(
+                max_wall_clock=max_wall_clock,
+                deadline=deadline,
+            ),
+            mode=spec.mode,
+        )
+        job = Job(
+            job_id=len(self._accepted) + 1,
+            benchmark=spec.benchmark,
+            target=target,
+            arrival_time=now,
+            instructions=self.sim_config.instructions_per_job,
+        )
+        auto_down = (
+            self.config.auto_downgrade
+            and spec.mode.kind is ModeKind.STRICT
+            and DeadlinePolicy.is_auto_downgradable(spec.deadline_class)
+        )
+        return job, auto_down, tw
+
+    def _try_admit(self, spec: JobSpec, now: float) -> bool:
+        job, auto_down, tw = self._build_job(spec, now)
+        decision = self.lac.admit(job, now=now, auto_downgrade=auto_down)
+        if not decision.accepted:
+            if not job.target.resources.fits_within(self.lac.capacity):
+                raise RuntimeError(
+                    f"job requests {job.target.resources}, beyond node "
+                    f"capacity; it can never be admitted"
+                )
+            if not any(r.end > now for r in self.lac.reservations()):
+                # Nothing is booked now or in the future, yet the job
+                # still does not fit before its deadline: it never will.
+                raise RuntimeError(
+                    f"job ({spec.benchmark}, {spec.mode.describe()}, "
+                    f"{spec.deadline_class.value}) is infeasible even on "
+                    "an idle node; the workload cannot complete"
+                )
+            return False
+        self._register_accepted(job, spec, tw, decision, now, auto_down)
+        return True
+
+    def _register_accepted(
+        self, job, spec, tw, decision, now, auto_down
+    ) -> None:
+        """Post-acceptance registration: state, dispatch, downgrade."""
+        job.mark_accepted()
+        self._accepted.append(job)
+        state = _JobRun(
+            job=job,
+            spec=spec,
+            curve=self._curve_for(spec.benchmark),
+            cpi_model=get_benchmark(spec.benchmark).cpi_model(
+                l2_latency=self.machine.l2_latency,
+                memory_latency=self.machine.memory_latency,
+            ),
+            tw=tw,
+            reservation=decision.reservation,
+        )
+        self._states[job.job_id] = state
+        self._ways_history[job.job_id] = []
+
+        if spec.mode.kind is ModeKind.OPPORTUNISTIC:
+            self._start_opportunistic(state, now)
+        elif decision.reservation is not None:
+            start = decision.reservation.start
+            if auto_down and start > now:
+                # Automatic downgrade: run Opportunistically in front of
+                # the late-placed reservation (Section 3.4).
+                job.auto_downgraded = True
+                job.switch_back_time = start
+                self._start_opportunistic(state, now)
+                job.change_mode(now, ExecutionMode.opportunistic())
+                self.events.schedule(
+                    start, self._make_switch_back(job.job_id)
+                )
+            elif start <= now + 1e-12:
+                self._dispatch_reserved(state, now)
+            else:
+                self.events.schedule(
+                    start, self._make_reserved_dispatch(job.job_id)
+                )
+
+    # -- dispatch -----------------------------------------------------------------------
+
+    def _start_opportunistic(self, state: _JobRun, now: float) -> None:
+        state.running = True
+        state.reserved_running = False
+        state.job.mark_started(now, core_id=-1)
+
+    def _make_reserved_dispatch(self, job_id: int):
+        def dispatch(now: float) -> None:
+            state = self._states[job_id]
+            if state.job.state is JobState.COMPLETED:
+                return
+            self._advance_all(now)
+            self._dispatch_reserved(state, now)
+            self._recompute(now)
+
+        return dispatch
+
+    def _make_switch_back(self, job_id: int):
+        def switch_back(now: float) -> None:
+            state = self._states[job_id]
+            if state.job.state is JobState.COMPLETED:
+                return
+            self._advance_all(now)
+            # The reserved timeslot begins: resume Strict execution on a
+            # pinned core (Section 3.4's switch-back arrow in Figure 7b).
+            state.job.change_mode(now, ExecutionMode.strict())
+            self._dispatch_reserved(state, now)
+            self._recompute(now)
+
+        return switch_back
+
+    def _make_wall_clock_check(self, job_id: int):
+        def check(now: float) -> None:
+            state = self._states[job_id]
+            if state.job.state is not JobState.RUNNING:
+                return
+            if not state.reserved_running:
+                return
+            self._advance_all(now)
+            if state.job.instructions - state.progress <= _PROGRESS_EPSILON:
+                return  # the completion event at this instant will land
+            self._terminate(state, now)
+            self._recompute(now)
+
+        return check
+
+    def _terminate(self, state: _JobRun, now: float) -> None:
+        """Kill a reserved job that overran its wall-clock limit (§3.2)."""
+        state.job.mark_terminated(now)
+        state.running = False
+        state.rate = 0.0
+        if state.completion_handle is not None:
+            state.completion_handle.cancel()
+        if state.steal_handle is not None:
+            state.steal_handle.cancel()
+        for core, job_id in list(self._reserved_cores.items()):
+            if job_id == state.job.job_id:
+                del self._reserved_cores[core]
+        state.reserved_running = False
+        if state.reservation is not None:
+            self.lac.release(state.reservation, at_time=now)
+        if self.record_trace:
+            self.trace.finish(now, state.job.job_id)
+        self._terminations += 1
+        if all(
+            s.job.state in (JobState.COMPLETED, JobState.TERMINATED)
+            for s in self._states.values()
+        ) and self._pending_index >= len(self._pending):
+            self._finished = True
+
+    def _dispatch_reserved(self, state: _JobRun, now: float) -> None:
+        free_cores = [
+            core
+            for core in range(self.machine.num_cores)
+            if core not in self._reserved_cores
+        ]
+        if not free_cores:
+            raise RuntimeError(
+                f"no free core for reserved job {state.job.job_id}; the "
+                "LAC over-admitted cores"
+            )
+        core = free_cores[0]
+        self._reserved_cores[core] = state.job.job_id
+        state.core_id = core
+        state.reserved_running = True
+        if not state.running:
+            state.running = True
+            state.job.mark_started(now, core_id=core)
+        else:
+            state.job.assigned_core = core
+
+        if (
+            self.sim_config.enforce_wall_clock
+            and state.reservation is not None
+            and state.reservation.end != float("inf")
+        ):
+            self.events.schedule(
+                max(now, state.reservation.end),
+                self._make_wall_clock_check(state.job.job_id),
+            )
+
+        mode = state.spec.mode
+        if mode.kind is ModeKind.ELASTIC:
+            state.steal = ResourceStealingController(
+                slack=mode.slack,
+                baseline_ways=state.spec.requested_ways,
+                min_ways=self.sim_config.stealing_min_ways,
+                interval_instructions=(
+                    self.machine.repartition_interval_instructions
+                ),
+            )
+            state.next_interval_at = (
+                state.progress
+                + self.machine.repartition_interval_instructions
+            )
+
+    # -- progress accounting ---------------------------------------------------------------
+
+    def _advance_all(self, now: float) -> None:
+        delta = now - self._last_advance
+        if delta <= 0:
+            self._last_advance = now
+            return
+        for state in self._states.values():
+            if not state.running or state.rate <= 0.0:
+                continue
+            instructions = state.rate * delta
+            state.progress += instructions
+            mpi_actual = state.curve.mpi(state.ways)
+            state.actual_misses += instructions * mpi_actual
+            if state.steal is not None:
+                state.baseline_misses += instructions * state.curve.mpi(
+                    state.steal.baseline_ways
+                )
+        self._last_advance = now
+
+    # -- allocation & rate recomputation ------------------------------------------------------
+
+    def _recompute(self, now: float) -> None:
+        """Re-derive allocations, bus contention, rates, and events."""
+        running = [s for s in self._states.values() if s.running]
+        reserved = [s for s in running if s.reserved_running]
+        opportunistic = [s for s in running if not s.reserved_running]
+
+        # Reserved jobs: pinned core, own (possibly stealing-reduced) ways.
+        reserved_ways_total = 0
+        for state in reserved:
+            state.cpu_share = 1.0
+            state.ways = (
+                state.steal.current_ways
+                if state.steal is not None
+                else state.spec.requested_ways
+            )
+            reserved_ways_total += state.ways
+
+        # Opportunistic pool: round-robin over unreserved cores, sharing
+        # the spare ways (unreserved + stolen).
+        free_cores = [
+            core
+            for core in range(self.machine.num_cores)
+            if core not in self._reserved_cores
+        ]
+        spare_ways = self.machine.l2_ways - reserved_ways_total
+        if spare_ways < 0:
+            raise AssertionError(
+                f"cache oversubscribed: {reserved_ways_total} reserved ways "
+                f"in a {self.machine.l2_ways}-way L2"
+            )
+        if opportunistic and free_cores:
+            opportunistic.sort(key=lambda s: s.job.job_id)
+            used_cores = min(len(free_cores), len(opportunistic))
+            core_jobs: Dict[int, List[_JobRun]] = {
+                free_cores[i]: [] for i in range(used_cores)
+            }
+            for index, state in enumerate(opportunistic):
+                core = free_cores[index % used_cores]
+                core_jobs[core].append(state)
+            share_ways, remainder = divmod(spare_ways, used_cores)
+            for slot, (core, jobs_on_core) in enumerate(
+                sorted(core_jobs.items())
+            ):
+                core_ways = share_ways + (1 if slot < remainder else 0)
+                for state in jobs_on_core:
+                    state.core_id = core
+                    state.job.assigned_core = core
+                    state.cpu_share = 1.0 / len(jobs_on_core)
+                    state.ways = core_ways
+        else:
+            for state in opportunistic:
+                state.cpu_share = 0.0
+                state.ways = 0
+                state.core_id = -1
+
+        # Memory-bus contention: reserved jobs' requests are prioritised
+        # (footnote 2), so only Opportunistic jobs see queueing delay.
+        transfers_per_cycle = 0.0
+        for state in running:
+            if state.cpu_share <= 0.0:
+                continue
+            mpi = state.curve.mpi(state.ways)
+            cpi = state.cpi_model.cpi(mpi)
+            # Each miss moves a fill block plus, for the dirty fraction,
+            # a write-back block.
+            writeback_factor = 1.0 + get_benchmark(
+                state.spec.benchmark
+            ).write_fraction
+            transfers_per_cycle += (
+                state.cpu_share * mpi * writeback_factor / cpi
+            )
+        if self.sim_config.enable_bandwidth_model:
+            opp_multiplier = self.bandwidth.penalty_multiplier(
+                transfers_per_cycle, self.machine.memory_latency
+            )
+            self._bus_saturated = self.bandwidth.is_saturated(
+                transfers_per_cycle
+            )
+        else:
+            opp_multiplier = 1.0
+            self._bus_saturated = False
+
+        # Rates, trace, and event rescheduling.
+        for state in running:
+            multiplier = 1.0 if state.reserved_running else opp_multiplier
+            if state.cpu_share <= 0.0:
+                state.rate = 0.0
+            else:
+                cpi = state.cpi_model.cpi(
+                    state.curve.mpi(state.ways),
+                    miss_penalty_multiplier=multiplier,
+                )
+                state.rate = (
+                    state.cpu_share * self.machine.clock_hz / cpi
+                )
+            if self.record_trace:
+                self.trace.update(
+                    now,
+                    state.job.job_id,
+                    mode=state.job.current_mode,
+                    ways=state.ways,
+                    core_id=state.core_id,
+                    cpu_share=state.cpu_share,
+                )
+            self._ways_history[state.job.job_id].append(state.ways)
+            self._reschedule_completion(state, now)
+            self._reschedule_steal(state, now)
+
+    def _reschedule_completion(self, state: _JobRun, now: float) -> None:
+        if state.completion_handle is not None:
+            state.completion_handle.cancel()
+            state.completion_handle = None
+        remaining = state.job.instructions - state.progress
+        if remaining <= _PROGRESS_EPSILON:
+            self._complete(state, now)
+            return
+        if state.rate <= 0.0:
+            return
+        eta = now + remaining / state.rate
+        state.completion_handle = self.events.schedule(
+            eta, self._make_completion(state.job.job_id)
+        )
+
+    def _make_completion(self, job_id: int):
+        def complete(now: float) -> None:
+            state = self._states[job_id]
+            if state.job.state is JobState.COMPLETED:
+                return
+            self._advance_all(now)
+            if state.job.instructions - state.progress > _PROGRESS_EPSILON:
+                # A rate change landed between scheduling and firing;
+                # recompute already rescheduled us.
+                return
+            self._complete(state, now)
+            self._recompute(now)
+
+        return complete
+
+    def _complete(self, state: _JobRun, now: float) -> None:
+        state.progress = float(state.job.instructions)
+        state.job.executed_instructions = state.job.instructions
+        state.job.mark_completed(now)
+        state.running = False
+        state.rate = 0.0
+        if state.completion_handle is not None:
+            state.completion_handle.cancel()
+        if state.steal_handle is not None:
+            state.steal_handle.cancel()
+        if state.reserved_running:
+            for core, job_id in list(self._reserved_cores.items()):
+                if job_id == state.job.job_id:
+                    del self._reserved_cores[core]
+        state.reserved_running = False
+        if state.reservation is not None:
+            # Reclaim the unused remainder (or the whole future slot for
+            # an AutoDown job that finished Opportunistically early).
+            self.lac.release(state.reservation, at_time=now)
+        if self.record_trace:
+            self.trace.finish(now, state.job.job_id)
+        if all(
+            s.job.state in (JobState.COMPLETED, JobState.TERMINATED)
+            for s in self._states.values()
+        ) and self._pending_index >= len(self._pending):
+            self._finished = True
+
+    # -- resource stealing ---------------------------------------------------------------------
+
+    def _reschedule_steal(self, state: _JobRun, now: float) -> None:
+        if state.steal_handle is not None:
+            state.steal_handle.cancel()
+            state.steal_handle = None
+        if (
+            state.steal is None
+            or not state.reserved_running
+            or state.rate <= 0.0
+        ):
+            return
+        remaining = state.next_interval_at - state.progress
+        if remaining <= 0:
+            remaining = 0.0
+        eta = now + remaining / state.rate
+        state.steal_handle = self.events.schedule(
+            eta, self._make_steal_interval(state.job.job_id)
+        )
+
+    def _make_steal_interval(self, job_id: int):
+        def interval(now: float) -> None:
+            state = self._states[job_id]
+            if (
+                state.job.state is JobState.COMPLETED
+                or state.steal is None
+                or not state.reserved_running
+            ):
+                return
+            self._advance_all(now)
+            if state.progress + _PROGRESS_EPSILON < state.next_interval_at:
+                # Stale event after a rate change; the reschedule in
+                # _recompute covers the real instant.
+                return
+            decision = state.steal.on_interval(
+                state, bus_saturated=self._bus_saturated
+            )
+            if decision.action is StealingAction.STEAL_ONE:
+                self._steal_transfers += 1
+            state.next_interval_at = (
+                state.progress
+                + self.machine.repartition_interval_instructions
+            )
+            self._recompute(now)
+
+        return interval
+
+    # -- results -----------------------------------------------------------------------------------
+
+    def _build_result(self) -> SystemResult:
+        jobs = list(self._accepted)
+        completed = sum(
+            1 for job in jobs if job.state is JobState.COMPLETED
+        )
+        first_n = min(self.sim_config.accepted_jobs_target, completed)
+        throughput = ThroughputReport.from_jobs(jobs, first_n=first_n)
+        deadline = DeadlineReport.from_jobs(jobs, reserved_modes_only=True)
+        wall_clock = WallClockSummary.from_jobs(jobs)
+        cancellations = sum(
+            state.steal.cancellations
+            for state in self._states.values()
+            if state.steal is not None
+        )
+        return SystemResult(
+            workload_name=self.workload.name,
+            configuration_name=self.config.name,
+            jobs=jobs,
+            makespan_seconds=throughput.makespan,
+            makespan_cycles=self.machine.seconds_to_cycles(
+                throughput.makespan
+            ),
+            throughput=throughput,
+            deadline_report=deadline,
+            wall_clock=wall_clock,
+            trace=self.trace,
+            probes=self._probes,
+            rejections=self._rejections,
+            backfills=self._backfills,
+            terminations=self._terminations,
+            steal_transfers=self._steal_transfers,
+            steal_cancellations=cancellations,
+            lac_admission_tests=self.lac.stats.admission_tests,
+            lac_candidate_windows=self.lac.stats.candidate_windows_evaluated,
+            per_job_ways_history=self._ways_history,
+        )

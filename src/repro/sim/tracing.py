@@ -1,0 +1,154 @@
+"""Execution-trace recording (the Figure 7 view).
+
+Figure 7 of the paper draws, per accepted job, the interval from start
+to completion, the gap to the deadline, and the points where automatic
+mode downgrade switches a job back to Strict.  The recorder captures
+piecewise-constant execution *segments* — every interval during which a
+job's mode, way allocation, and CPU share were constant — which is also
+exactly the information needed to audit the simulator's resource
+accounting (no core or way oversubscription at any instant), used by
+the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.modes import ExecutionMode
+
+
+@dataclass(frozen=True)
+class TraceSegment:
+    """One constant-configuration interval of one job's execution."""
+
+    job_id: int
+    start: float
+    end: float
+    mode: ExecutionMode
+    ways: int
+    core_id: int
+    cpu_share: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the segment."""
+        return self.end - self.start
+
+
+@dataclass
+class _OpenSegment:
+    job_id: int
+    start: float
+    mode: ExecutionMode
+    ways: int
+    core_id: int
+    cpu_share: float
+
+    def close(self, end: float) -> TraceSegment:
+        return TraceSegment(
+            job_id=self.job_id,
+            start=self.start,
+            end=end,
+            mode=self.mode,
+            ways=self.ways,
+            core_id=self.core_id,
+            cpu_share=self.cpu_share,
+        )
+
+
+@dataclass
+class ExecutionTrace:
+    """Collected segments plus per-job milestones."""
+
+    segments: List[TraceSegment] = field(default_factory=list)
+    _open: Dict[int, _OpenSegment] = field(default_factory=dict)
+
+    def update(
+        self,
+        time: float,
+        job_id: int,
+        *,
+        mode: ExecutionMode,
+        ways: int,
+        core_id: int,
+        cpu_share: float,
+    ) -> None:
+        """Record that the job's configuration is as given from ``time`` on.
+
+        If the configuration is unchanged the open segment continues;
+        otherwise the open segment is closed and a new one begun.
+        """
+        current = self._open.get(job_id)
+        if current is not None:
+            unchanged = (
+                current.mode == mode
+                and current.ways == ways
+                and current.core_id == core_id
+                and abs(current.cpu_share - cpu_share) < 1e-12
+            )
+            if unchanged:
+                return
+            if time > current.start:
+                self.segments.append(current.close(time))
+        self._open[job_id] = _OpenSegment(
+            job_id=job_id,
+            start=time,
+            mode=mode,
+            ways=ways,
+            core_id=core_id,
+            cpu_share=cpu_share,
+        )
+
+    def finish(self, time: float, job_id: int) -> None:
+        """Close the job's open segment at completion time."""
+        current = self._open.pop(job_id, None)
+        if current is not None and time > current.start:
+            self.segments.append(current.close(time))
+
+    def segments_for(self, job_id: int) -> List[TraceSegment]:
+        """All closed segments of one job, in time order."""
+        return sorted(
+            (s for s in self.segments if s.job_id == job_id),
+            key=lambda s: s.start,
+        )
+
+    def job_span(self, job_id: int) -> Optional[tuple]:
+        """(first start, last end) of the job's recorded execution."""
+        segments = self.segments_for(job_id)
+        if not segments:
+            return None
+        return segments[0].start, segments[-1].end
+
+    # -- resource-accounting audits (used by integration tests) -----------------
+
+    def breakpoints(self) -> List[float]:
+        """All segment boundaries, sorted and deduplicated."""
+        times = {s.start for s in self.segments} | {
+            s.end for s in self.segments
+        }
+        return sorted(times)
+
+    def ways_in_use_at(self, time: float) -> int:
+        """Total ways held by running jobs at ``time`` (weighted by share).
+
+        A core timesharing k Opportunistic jobs reports the core's way
+        allocation once (each job's record carries the full core
+        allocation but a 1/k CPU share), so the audit divides by the
+        concurrency on each (core, interval).
+        """
+        active = [s for s in self.segments if s.start <= time < s.end]
+        per_core: Dict[int, List[TraceSegment]] = {}
+        for segment in active:
+            per_core.setdefault(segment.core_id, []).append(segment)
+        total = 0.0
+        for segments in per_core.values():
+            # All jobs on one core share the same allocation; count once.
+            total += max(s.ways for s in segments)
+        return int(round(total))
+
+    def cores_in_use_at(self, time: float) -> float:
+        """Total CPU shares in use at ``time`` (≤ core count if sound)."""
+        return sum(
+            s.cpu_share for s in self.segments if s.start <= time < s.end
+        )

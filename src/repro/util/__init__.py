@@ -1,0 +1,35 @@
+"""Shared low-level utilities for the QoS-CMP reproduction.
+
+This package deliberately contains only dependency-free helpers:
+
+- :mod:`repro.util.rng` — deterministic, independently seedable random
+  streams so that every simulation is reproducible run-to-run.
+- :mod:`repro.util.validation` — argument-checking helpers that raise
+  uniform, descriptive errors.
+- :mod:`repro.util.stats` — running statistics accumulators (mean, min,
+  max, variance) used by cache statistics and the metrics layer.
+- :mod:`repro.util.tables` — plain-text table rendering used by the
+  benchmark harness to print paper-style tables.
+"""
+
+from repro.util.rng import DeterministicRng, derive_seed
+from repro.util.stats import Histogram, RunningStats
+from repro.util.tables import format_table
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+__all__ = [
+    "DeterministicRng",
+    "derive_seed",
+    "RunningStats",
+    "Histogram",
+    "format_table",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_power_of_two",
+]

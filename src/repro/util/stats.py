@@ -1,0 +1,159 @@
+"""Running statistics accumulators.
+
+Cache statistics, wall-clock-time summaries (Figure 6 of the paper shows
+average plus min/max "candles"), and LAC occupancy tracking all need
+streaming mean/min/max/variance without storing every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+
+class RunningStats:
+    """Welford-style streaming mean/variance with min/max tracking."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples seen so far (0.0 if none)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 with fewer than two samples)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample seen; raises if empty."""
+        if self._min is None:
+            raise ValueError("no samples accumulated")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample seen; raises if empty."""
+        if self._max is None:
+            raise ValueError("no samples accumulated")
+        return self._max
+
+    @property
+    def spread(self) -> float:
+        """``max - min``: the length of the Figure-6 candle."""
+        return self.maximum - self.minimum
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator combining both sets of samples."""
+        merged = RunningStats()
+        if self.count == 0:
+            merged.count = other.count
+            merged._mean = other._mean
+            merged._m2 = other._m2
+            merged._min, merged._max = other._min, other._max
+            return merged
+        if other.count == 0:
+            merged.count = self.count
+            merged._mean = self._mean
+            merged._m2 = self._m2
+            merged._min, merged._max = self._min, self._max
+            return merged
+        merged.count = self.count + other.count
+        delta = other._mean - self._mean
+        merged._mean = self._mean + delta * other.count / merged.count
+        merged._m2 = (
+            self._m2
+            + other._m2
+            + delta * delta * self.count * other.count / merged.count
+        )
+        merged._min = min(self._min, other._min)  # type: ignore[arg-type]
+        merged._max = max(self._max, other._max)  # type: ignore[arg-type]
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.count:
+            return "RunningStats(empty)"
+        return (
+            f"RunningStats(n={self.count}, mean={self.mean:.4g}, "
+            f"min={self.minimum:.4g}, max={self.maximum:.4g})"
+        )
+
+
+@dataclass
+class Histogram:
+    """Fixed-width-bucket histogram for coarse distribution summaries."""
+
+    bucket_width: float
+    _buckets: Dict[int, int] = field(default_factory=dict)
+    _stats: RunningStats = field(default_factory=RunningStats)
+
+    def add(self, value: float) -> None:
+        """Record one sample."""
+        if self.bucket_width <= 0:
+            raise ValueError("bucket_width must be positive")
+        index = int(value // self.bucket_width)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+        self._stats.add(value)
+
+    @property
+    def count(self) -> int:
+        """Total number of samples."""
+        return self._stats.count
+
+    @property
+    def stats(self) -> RunningStats:
+        """The underlying streaming statistics."""
+        return self._stats
+
+    def buckets(self) -> List[tuple]:
+        """Return ``(bucket_low_edge, count)`` pairs, sorted by edge."""
+        return [
+            (index * self.bucket_width, self._buckets[index])
+            for index in sorted(self._buckets)
+        ]
+
+    def percentile(self, q: float) -> float:
+        """Approximate the ``q``-th percentile (0–100) from bucket edges."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._buckets:
+            raise ValueError("histogram is empty")
+        target = self.count * q / 100.0
+        seen = 0
+        for edge, bucket_count in self.buckets():
+            seen += bucket_count
+            if seen >= target:
+                return edge + self.bucket_width / 2
+        last_edge, _ = self.buckets()[-1]
+        return last_edge + self.bucket_width / 2

@@ -1,0 +1,56 @@
+"""Uniform argument validation helpers.
+
+All public constructors in the library validate their inputs through
+these helpers so that misconfiguration fails fast with a message naming
+the offending parameter, rather than surfacing later as a confusing
+simulation result.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Require ``value > 0``; return it for inline use."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Require ``value >= 0``; return it for inline use."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: Number, *, inclusive: bool = True) -> Number:
+    """Require ``value`` to be a fraction in ``[0, 1]`` (or ``(0, 1)``)."""
+    if inclusive:
+        if not 0 <= value <= 1:
+            raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not 0 < value < 1:
+            raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Require ``value`` to be a positive power of two.
+
+    Cache geometries (set counts, block sizes) must be powers of two for
+    the address bit-slicing in :mod:`repro.cache.geometry` to be exact.
+    """
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: Number, low: Number, high: Number) -> Number:
+    """Require ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value

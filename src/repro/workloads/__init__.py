@@ -1,0 +1,88 @@
+"""Synthetic SPEC2006-like workloads.
+
+The paper evaluates with fifteen SPEC2006 benchmarks under Simics.
+Neither is available here, so this package provides the substitution
+documented in DESIGN.md §1: synthetic L2 access-trace generators whose
+*cache behaviour as a function of allocated ways* matches the paper's
+three sensitivity classes (Figure 4) and the Table 1 statistics of the
+three representative benchmarks.
+
+- :mod:`repro.workloads.patterns` — access-pattern primitives (cyclic
+  loops, streaming, Zipf-popular pools).
+- :mod:`repro.workloads.generator` — weighted pattern mixtures and the
+  trace generator.
+- :mod:`repro.workloads.benchmarks` — the fifteen named benchmark
+  profiles with CPI-model parameters.
+- :mod:`repro.workloads.profiler` — miss-ratio-curve profiling (misses
+  per instruction as a function of allocated ways), the input to the
+  system simulator's timing model.
+- :mod:`repro.workloads.arrival` — Poisson arrivals and the paper's
+  tight/moderate/relaxed deadline mix.
+- :mod:`repro.workloads.composer` — 10-job workload construction,
+  including the Table 3 Mix-1/Mix-2 workloads and Table 2 mode
+  configurations.
+- :mod:`repro.workloads.tracefile` — trace file I/O, so real recorded
+  address traces can replace the synthetic stand-ins.
+"""
+
+from repro.workloads.arrival import DeadlineClass, DeadlinePolicy, PoissonArrivals
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    REPRESENTATIVES,
+    BenchmarkProfile,
+    get_benchmark,
+)
+from repro.workloads.composer import (
+    JobSpec,
+    WorkloadSpec,
+    mixed_workload,
+    single_benchmark_workload,
+)
+from repro.workloads.generator import TraceGenerator
+from repro.workloads.patterns import (
+    LoopPattern,
+    PhasedPattern,
+    StreamingPattern,
+    ZipfPattern,
+)
+from repro.workloads.profiler import (
+    MissRatioCurve,
+    load_curves,
+    profile_benchmark,
+    save_curves,
+)
+from repro.workloads.tracefile import (
+    FileTracePattern,
+    load_trace,
+    read_trace,
+    record_trace,
+    write_trace,
+)
+
+__all__ = [
+    "LoopPattern",
+    "PhasedPattern",
+    "StreamingPattern",
+    "ZipfPattern",
+    "TraceGenerator",
+    "BenchmarkProfile",
+    "BENCHMARKS",
+    "REPRESENTATIVES",
+    "get_benchmark",
+    "MissRatioCurve",
+    "profile_benchmark",
+    "save_curves",
+    "load_curves",
+    "FileTracePattern",
+    "write_trace",
+    "read_trace",
+    "load_trace",
+    "record_trace",
+    "PoissonArrivals",
+    "DeadlinePolicy",
+    "DeadlineClass",
+    "JobSpec",
+    "WorkloadSpec",
+    "single_benchmark_workload",
+    "mixed_workload",
+]

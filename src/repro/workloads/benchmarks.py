@@ -1,0 +1,372 @@
+"""The fifteen SPEC2006-like benchmark profiles.
+
+The paper (Section 6) uses fifteen SPEC2006 C/C++ benchmarks, classifies
+them by cache-space sensitivity into three groups (Figure 4), and picks
+one representative per group: **bzip2** (Group 1, highly sensitive),
+**hmmer** (Group 2, moderately sensitive), **gobmk** (Group 3,
+insensitive).  Table 1 reports their L2 miss rate and misses per
+instruction at a 7-way allocation.
+
+Here each benchmark is a :class:`BenchmarkProfile`: a weighted mixture
+of access-pattern primitives plus CPI-model parameters.  Footprints and
+weights are calibrated so that
+
+- the three representatives land near their Table 1 miss statistics at
+  7 ways, and
+- the fifteen profiles scatter into the paper's three sensitivity
+  groups when classified by CPI increase from 7→1 and 7→4 ways
+  (reproduced by ``benchmarks/bench_fig4_sensitivity.py``).
+
+The absolute constants are synthetic; DESIGN.md §1 records this
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.cpu.cpi import CpiModel
+from repro.util.validation import check_fraction, check_positive
+from repro.workloads.generator import MixtureComponent, TraceGenerator
+from repro.workloads.patterns import (
+    AccessPattern,
+    LoopPattern,
+    StreamingPattern,
+    ZipfPattern,
+)
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """Declarative description of one mixture component."""
+
+    kind: str  # 'loop' | 'zipf' | 'stream'
+    footprint_ways: float
+    weight: float
+    alpha: float = 1.0
+
+    def build(self) -> AccessPattern:
+        """Instantiate the pattern primitive."""
+        if self.kind == "loop":
+            return LoopPattern(self.footprint_ways)
+        if self.kind == "zipf":
+            return ZipfPattern(self.footprint_ways, alpha=self.alpha)
+        if self.kind == "stream":
+            return StreamingPattern(self.footprint_ways)
+        raise ValueError(f"unknown component kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """One synthetic benchmark: access mixture + CPI parameters.
+
+    Attributes
+    ----------
+    name:
+        SPEC2006-style benchmark name.
+    group:
+        Sensitivity group per Figure 4 (1 = highly sensitive,
+        2 = moderately sensitive, 3 = insensitive).
+    components:
+        Access-pattern mixture defining the L2 access stream.
+    l2_accesses_per_instruction:
+        ``h2`` of the CPI model; also converts trace length (L2
+        accesses) into instructions.
+    cpi_l1_inf:
+        Compute CPI with an infinite L1.
+    write_fraction:
+        Fraction of L2 accesses that are writes.
+    """
+
+    name: str
+    group: int
+    components: Tuple[ComponentSpec, ...]
+    l2_accesses_per_instruction: float
+    cpi_l1_inf: float
+    write_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.group not in (1, 2, 3):
+            raise ValueError(f"group must be 1, 2 or 3, got {self.group}")
+        if not self.components:
+            raise ValueError(f"benchmark {self.name} has no components")
+        check_positive(
+            "l2_accesses_per_instruction", self.l2_accesses_per_instruction
+        )
+        check_positive("cpi_l1_inf", self.cpi_l1_inf)
+        check_fraction("write_fraction", self.write_fraction)
+
+    def make_generator(self) -> TraceGenerator:
+        """Build a fresh (unbound) trace generator for one job instance."""
+        return TraceGenerator(
+            [
+                MixtureComponent(spec.build(), spec.weight)
+                for spec in self.components
+            ],
+            write_fraction=self.write_fraction,
+        )
+
+    def cpi_model(
+        self, *, l2_latency: float = 10.0, memory_latency: float = 300.0
+    ) -> CpiModel:
+        """The benchmark's CPI decomposition on the machine model."""
+        return CpiModel(
+            cpi_l1_inf=self.cpi_l1_inf,
+            l2_accesses_per_instruction=self.l2_accesses_per_instruction,
+            l2_access_penalty=l2_latency,
+            l2_miss_penalty=memory_latency,
+        )
+
+    @property
+    def hot_footprint_ways(self) -> float:
+        """Ways-worth of blocks the benchmark keeps resident.
+
+        The sum of the non-streaming components' footprints — what a
+        context switch actually evicts and the next quantum must
+        re-fetch (streaming blocks are dead on arrival either way).
+        Used by the EqualPart timesharing model's refill penalty.
+        """
+        return sum(
+            spec.footprint_ways
+            for spec in self.components
+            if spec.kind != "stream"
+        )
+
+    def instructions_for_accesses(self, accesses: int) -> int:
+        """Instructions represented by ``accesses`` L2 accesses."""
+        return round(accesses / self.l2_accesses_per_instruction)
+
+    def accesses_for_instructions(self, instructions: int) -> int:
+        """L2 accesses generated while retiring ``instructions``."""
+        return max(1, round(instructions * self.l2_accesses_per_instruction))
+
+
+def _profile(
+    name: str,
+    group: int,
+    components: Tuple[ComponentSpec, ...],
+    h2: float,
+    cpi_l1_inf: float,
+    write_fraction: float = 0.2,
+) -> BenchmarkProfile:
+    return BenchmarkProfile(
+        name=name,
+        group=group,
+        components=components,
+        l2_accesses_per_instruction=h2,
+        cpi_l1_inf=cpi_l1_inf,
+        write_fraction=write_fraction,
+    )
+
+
+# ----------------------------------------------------------------------------
+# Group 1 -- highly cache-sensitive.  Shape: a streaming floor, a mid-size
+# loop whose LRU cliff sits just below the 7-way request (so the miss rate
+# is low at >= 7 ways and climbs steeply below), and a hot Zipf head that
+# keeps the 1-way plateau moderate (Opportunistic instances must remain
+# runnable on spare ways, Section 7.1).  bzip2's constants are calibrated
+# to Table 1 (20% miss rate, 0.0055 MPI at 7 ways) and to the paper's solo
+# IPC of 0.375 in Figure 1.
+# ----------------------------------------------------------------------------
+
+_GROUP1 = (
+    _profile(
+        "bzip2",
+        1,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.17),
+            ComponentSpec("loop", footprint_ways=3.3, weight=0.19),
+            ComponentSpec("zipf", footprint_ways=0.7, weight=0.64, alpha=1.2),
+        ),
+        h2=0.0275,
+        cpi_l1_inf=1.00,
+    ),
+    _profile(
+        "mcf",
+        1,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.20),
+            ComponentSpec("loop", footprint_ways=3.2, weight=0.30),
+            ComponentSpec("zipf", footprint_ways=0.7, weight=0.50, alpha=1.15),
+        ),
+        h2=0.060,
+        cpi_l1_inf=1.10,
+    ),
+    _profile(
+        "soplex",
+        1,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.13),
+            ComponentSpec("loop", footprint_ways=2.9, weight=0.20),
+            ComponentSpec("zipf", footprint_ways=0.7, weight=0.67, alpha=1.2),
+        ),
+        h2=0.035,
+        cpi_l1_inf=1.05,
+    ),
+    _profile(
+        "astar",
+        1,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.11),
+            ComponentSpec("loop", footprint_ways=3.6, weight=0.17),
+            ComponentSpec("zipf", footprint_ways=0.9, weight=0.72, alpha=1.1),
+        ),
+        h2=0.022,
+        cpi_l1_inf=1.00,
+    ),
+    _profile(
+        "sphinx",
+        1,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.16),
+            ComponentSpec("loop", footprint_ways=3.1, weight=0.23),
+            ComponentSpec("zipf", footprint_ways=0.6, weight=0.61, alpha=1.2),
+        ),
+        h2=0.030,
+        cpi_l1_inf=0.95,
+    ),
+)
+
+# ----------------------------------------------------------------------------
+# Group 2 -- moderately sensitive: the loop cliff sits at 2-3 ways, so the
+# CPI barely moves from 7 to 4 ways but jumps from 7 to 1 (the Figure 4
+# signature of this group).  hmmer is calibrated to Table 1 (17% miss
+# rate, 0.001 MPI at 7 ways).
+# ----------------------------------------------------------------------------
+
+_GROUP2 = (
+    _profile(
+        "hmmer",
+        2,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.13),
+            ComponentSpec("loop", footprint_ways=2.6, weight=0.11),
+            ComponentSpec("zipf", footprint_ways=0.6, weight=0.76, alpha=1.2),
+        ),
+        h2=0.0059,
+        cpi_l1_inf=0.90,
+    ),
+    _profile(
+        "gcc",
+        2,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.15),
+            ComponentSpec("loop", footprint_ways=2.3, weight=0.13),
+            ComponentSpec("zipf", footprint_ways=0.5, weight=0.72, alpha=1.2),
+        ),
+        h2=0.012,
+        cpi_l1_inf=1.05,
+    ),
+    _profile(
+        "perl",
+        2,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.11),
+            ComponentSpec("loop", footprint_ways=2.0, weight=0.12),
+            ComponentSpec("zipf", footprint_ways=0.55, weight=0.77, alpha=1.25),
+        ),
+        h2=0.009,
+        cpi_l1_inf=1.00,
+    ),
+    _profile(
+        "h264ref",
+        2,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.12),
+            ComponentSpec("loop", footprint_ways=2.8, weight=0.10),
+            ComponentSpec("zipf", footprint_ways=0.45, weight=0.78, alpha=1.15),
+        ),
+        h2=0.008,
+        cpi_l1_inf=0.95,
+    ),
+    _profile(
+        "milc",
+        2,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.20),
+            ComponentSpec("loop", footprint_ways=1.5, weight=0.10),
+            ComponentSpec("zipf", footprint_ways=0.5, weight=0.70, alpha=1.1),
+        ),
+        h2=0.018,
+        cpi_l1_inf=1.10,
+    ),
+)
+
+# ----------------------------------------------------------------------------
+# Group 3 -- cache-insensitive: a dominant streaming/huge-loop component
+# plus a tiny hot set that fits in a single way; the miss-ratio curve is
+# essentially flat, which is what makes these ideal stealing donors.
+# gobmk is calibrated to Table 1 (24% miss rate, 0.004 MPI at 7 ways).
+# ----------------------------------------------------------------------------
+
+_GROUP3 = (
+    _profile(
+        "gobmk",
+        3,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.26),
+            ComponentSpec("zipf", footprint_ways=0.35, weight=0.74, alpha=1.3),
+        ),
+        h2=0.0167,
+        cpi_l1_inf=1.05,
+    ),
+    _profile(
+        "sjeng",
+        3,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.17),
+            ComponentSpec("zipf", footprint_ways=0.3, weight=0.83, alpha=1.3),
+        ),
+        h2=0.010,
+        cpi_l1_inf=1.00,
+    ),
+    _profile(
+        "libquantum",
+        3,
+        (
+            ComponentSpec("loop", footprint_ways=64.0, weight=0.72),
+            ComponentSpec("zipf", footprint_ways=0.25, weight=0.28, alpha=1.3),
+        ),
+        h2=0.025,
+        cpi_l1_inf=0.85,
+    ),
+    _profile(
+        "namd",
+        3,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.12),
+            ComponentSpec("zipf", footprint_ways=0.3, weight=0.88, alpha=1.35),
+        ),
+        h2=0.004,
+        cpi_l1_inf=0.90,
+    ),
+    _profile(
+        "povray",
+        3,
+        (
+            ComponentSpec("stream", footprint_ways=256.0, weight=0.10),
+            ComponentSpec("zipf", footprint_ways=0.4, weight=0.90, alpha=1.3),
+        ),
+        h2=0.003,
+        cpi_l1_inf=0.95,
+    ),
+)
+
+BENCHMARKS: Dict[str, BenchmarkProfile] = {
+    profile.name: profile for profile in (_GROUP1 + _GROUP2 + _GROUP3)
+}
+
+#: The paper's representative benchmark per sensitivity group.
+REPRESENTATIVES: Dict[int, str] = {1: "bzip2", 2: "hmmer", 3: "gobmk"}
+
+
+def get_benchmark(name: str) -> BenchmarkProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; expected one of "
+            f"{sorted(BENCHMARKS)}"
+        ) from None

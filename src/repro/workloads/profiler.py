@@ -1,0 +1,244 @@
+"""Miss-ratio-curve profiling.
+
+The system simulator's timing model needs, for every benchmark, the L2
+miss rate as a function of allocated ways — exactly what the paper's
+framework observes through its allocation counters and what utility-
+based partitioning papers call a miss-ratio curve (MRC).
+
+:func:`profile_benchmark` obtains the curve the honest way: it runs the
+benchmark's synthetic trace through a real trace-driven LRU cache at
+every candidate way count.  Profiling runs on a scaled-down set count
+(footprints are way-denominated, so the curve is set-count invariant;
+see :mod:`repro.workloads.patterns`) and results are memoised
+process-wide because every experiment reuses the same fifteen curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.cache.basic import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.util.rng import DeterministicRng
+from repro.util.validation import check_non_negative, check_positive
+from repro.workloads.benchmarks import BenchmarkProfile
+
+
+@dataclass
+class MissRatioCurve:
+    """L2 miss rate (and misses/instruction) versus allocated ways.
+
+    ``points`` maps integer way counts to miss rates.  The curve is
+    normalised to be non-increasing in ways (more cache can only help
+    under LRU inclusion) — simulation noise on finite traces could
+    otherwise produce tiny inversions that would break downstream
+    invariants.
+    """
+
+    benchmark: str
+    l2_accesses_per_instruction: float
+    points: Dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive(
+            "l2_accesses_per_instruction", self.l2_accesses_per_instruction
+        )
+        if 0 not in self.points:
+            self.points[0] = 1.0  # no allocation: every access misses
+        self._enforce_monotone()
+
+    def _enforce_monotone(self) -> None:
+        running_min = 1.0
+        for ways in sorted(self.points):
+            value = min(self.points[ways], running_min)
+            if not 0.0 <= self.points[ways] <= 1.0:
+                raise ValueError(
+                    f"miss rate at {ways} ways is {self.points[ways]}, "
+                    "outside [0, 1]"
+                )
+            self.points[ways] = value
+            running_min = value
+
+    @property
+    def max_ways(self) -> int:
+        """Largest way count the curve was profiled at."""
+        return max(self.points)
+
+    def miss_rate(self, ways: float) -> float:
+        """Miss rate at ``ways``, linearly interpolated between points.
+
+        Fractional allocations arise in the EqualPart baseline (16 ways
+        over a varying number of jobs, e.g. Figure 1's three-job case
+        giving 5.33 ways each).  Queries beyond the profiled range clamp
+        to the last point.
+        """
+        check_non_negative("ways", ways)
+        known = sorted(self.points)
+        if ways >= known[-1]:
+            return self.points[known[-1]]
+        lower = max(w for w in known if w <= ways)
+        upper = min(w for w in known if w >= ways)
+        if lower == upper:
+            return self.points[lower]
+        t = (ways - lower) / (upper - lower)
+        return self.points[lower] * (1 - t) + self.points[upper] * t
+
+    def mpi(self, ways: float) -> float:
+        """Misses per instruction at ``ways``."""
+        return self.miss_rate(ways) * self.l2_accesses_per_instruction
+
+    def miss_increase_fraction(self, baseline_ways: float, reduced_ways: float) -> float:
+        """Fractional miss increase when shrinking the allocation.
+
+        This is the quantity the resource-stealing criterion bounds by
+        the Elastic slack X (Section 4.2).
+        """
+        base = self.miss_rate(baseline_ways)
+        if base == 0.0:
+            return 0.0 if self.miss_rate(reduced_ways) == 0.0 else float("inf")
+        return (self.miss_rate(reduced_ways) - base) / base
+
+    def min_ways_for_miss_rate(self, target_miss_rate: float) -> Optional[int]:
+        """Smallest profiled way count achieving ``target_miss_rate``.
+
+        Returns ``None`` when even the full curve cannot reach the
+        target — the paper's point about RPM targets being possibly
+        ill-defined (Section 3.2).
+        """
+        check_non_negative("target_miss_rate", target_miss_rate)
+        for ways in sorted(self.points):
+            if self.points[ways] <= target_miss_rate:
+                return ways
+        return None
+
+
+def profile_benchmark(
+    profile: BenchmarkProfile,
+    *,
+    ways_list: Iterable[int] = tuple(range(1, 17)),
+    num_sets: int = 64,
+    block_bytes: int = 64,
+    accesses: int = 40_000,
+    warmup: int = 15_000,
+    seed: int = 1234,
+) -> MissRatioCurve:
+    """Measure ``profile``'s miss-ratio curve by direct cache simulation.
+
+    For each candidate way count ``w`` the benchmark's trace runs alone
+    through a ``w``-way LRU cache with ``num_sets`` sets (a partition
+    view of the shared L2).  ``warmup`` accesses fill the cache before
+    ``accesses`` measured ones.
+    """
+    check_positive("accesses", accesses)
+    check_non_negative("warmup", warmup)
+    points: Dict[int, float] = {}
+    for ways in ways_list:
+        if ways <= 0:
+            raise ValueError(f"ways must be positive, got {ways}")
+        geometry = CacheGeometry.from_sets(num_sets, ways, block_bytes)
+        cache = SetAssociativeCache(geometry, name=f"{profile.name}-{ways}w")
+        generator = profile.make_generator()
+        generator.bind(
+            num_sets=num_sets,
+            block_bytes=block_bytes,
+            rng=DeterministicRng(seed, f"profile-{profile.name}"),
+        )
+        stream = generator.address_stream(warmup + accesses)
+        for _ in range(warmup):
+            address, is_write = next(stream)
+            cache.access(address, is_write=is_write)
+        baseline = cache.stats.snapshot()
+        for address, is_write in stream:
+            cache.access(address, is_write=is_write)
+        measured = cache.stats.delta_since(baseline)
+        points[ways] = measured.miss_rate
+    return MissRatioCurve(
+        benchmark=profile.name,
+        l2_accesses_per_instruction=profile.l2_accesses_per_instruction,
+        points=points,
+    )
+
+
+_CURVE_CACHE: Dict[Tuple[str, int, int, int, int], MissRatioCurve] = {}
+
+
+def get_curve(
+    profile: BenchmarkProfile,
+    *,
+    num_sets: int = 64,
+    block_bytes: int = 64,
+    accesses: int = 40_000,
+    seed: int = 1234,
+) -> MissRatioCurve:
+    """Memoised :func:`profile_benchmark` (one curve per configuration)."""
+    key = (profile.name, num_sets, block_bytes, accesses, seed)
+    if key not in _CURVE_CACHE:
+        _CURVE_CACHE[key] = profile_benchmark(
+            profile,
+            num_sets=num_sets,
+            block_bytes=block_bytes,
+            accesses=accesses,
+            seed=seed,
+        )
+    return _CURVE_CACHE[key]
+
+
+def clear_curve_cache() -> None:
+    """Drop all memoised curves (test isolation helper)."""
+    _CURVE_CACHE.clear()
+
+
+# -----------------------------------------------------------------------------
+# Curve persistence: profiling the fifteen benchmarks takes a couple of
+# minutes; saving the curves lets CLIs and notebooks skip re-profiling.
+# -----------------------------------------------------------------------------
+
+
+def curve_to_dict(curve: MissRatioCurve) -> dict:
+    """Serialise one curve to plain data."""
+    return {
+        "benchmark": curve.benchmark,
+        "l2_accesses_per_instruction": curve.l2_accesses_per_instruction,
+        "points": {str(ways): rate for ways, rate in curve.points.items()},
+    }
+
+
+def curve_from_dict(payload: dict) -> MissRatioCurve:
+    """Rebuild a curve serialised by :func:`curve_to_dict`."""
+    try:
+        return MissRatioCurve(
+            benchmark=payload["benchmark"],
+            l2_accesses_per_instruction=payload[
+                "l2_accesses_per_instruction"
+            ],
+            points={
+                int(ways): float(rate)
+                for ways, rate in payload["points"].items()
+            },
+        )
+    except KeyError as missing:
+        raise ValueError(f"curve payload missing key {missing}") from None
+
+
+def save_curves(curves, path) -> "Path":
+    """Write a ``{name: curve}`` mapping to a JSON file."""
+    import json
+    from pathlib import Path
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {name: curve_to_dict(curve) for name, curve in curves.items()}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_curves(path) -> Dict[str, MissRatioCurve]:
+    """Read back a curve file written by :func:`save_curves`."""
+    import json
+    from pathlib import Path
+
+    payload = json.loads(Path(path).read_text())
+    return {
+        name: curve_from_dict(entry) for name, entry in payload.items()
+    }

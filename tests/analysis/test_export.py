@@ -1,0 +1,84 @@
+"""Tests for JSON result export."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    export_result,
+    result_to_dict,
+    results_to_dict,
+    write_json,
+)
+from repro.core.config import ALL_STRICT_AUTODOWN
+from repro.sim.config import SimulationConfig
+from repro.sim.system import QoSSystemSimulator
+from repro.workloads.composer import single_benchmark_workload
+from tests.sim.conftest import linear_curve
+
+
+@pytest.fixture(scope="module")
+def result():
+    curves = {
+        "bzip2": linear_curve("bzip2", 0.0275, high=0.6, low=0.18, knee=7)
+    }
+    workload = single_benchmark_workload("bzip2", ALL_STRICT_AUTODOWN)
+    return QoSSystemSimulator(
+        workload, curves=curves, sim_config=SimulationConfig()
+    ).run()
+
+
+class TestSerialisation:
+    def test_round_trips_through_json(self, result):
+        payload = result_to_dict(result)
+        restored = json.loads(json.dumps(payload))
+        assert restored["configuration"] == "All-Strict+AutoDown"
+        assert len(restored["jobs"]) == 10
+
+    def test_job_fields_present(self, result):
+        payload = result_to_dict(result)
+        job = payload["jobs"][0]
+        for field in (
+            "job_id", "benchmark", "requested_mode", "arrival_time",
+            "completion_time", "deadline", "met_deadline",
+            "mode_history", "requested_ways",
+        ):
+            assert field in job
+
+    def test_autodown_mode_history_serialised(self, result):
+        payload = result_to_dict(result)
+        downgraded = [j for j in payload["jobs"] if j["auto_downgraded"]]
+        assert downgraded
+        assert any(
+            entry["mode"] == "Opportunistic"
+            for job in downgraded
+            for entry in job["mode_history"]
+        )
+
+    def test_trace_optional(self, result):
+        with_trace = result_to_dict(result, include_trace=True)
+        without = result_to_dict(result, include_trace=False)
+        assert "trace" in with_trace and with_trace["trace"]
+        assert "trace" not in without
+
+    def test_wall_clock_by_mode(self, result):
+        payload = result_to_dict(result)
+        assert "Strict" in payload["wall_clock_by_mode"]
+        stats = payload["wall_clock_by_mode"]["Strict"]
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_sweep_serialisation(self, result):
+        payload = results_to_dict({"A": result, "B": result})
+        assert set(payload) == {"A", "B"}
+
+
+class TestFileExport:
+    def test_export_result_writes_file(self, result, tmp_path):
+        path = export_result(result, tmp_path / "out" / "result.json")
+        assert path.exists()
+        restored = json.loads(path.read_text())
+        assert restored["deadline_report"]["hit_rate"] == 1.0
+
+    def test_write_json_creates_parents(self, tmp_path):
+        path = write_json({"x": 1}, tmp_path / "a" / "b" / "c.json")
+        assert json.loads(path.read_text()) == {"x": 1}

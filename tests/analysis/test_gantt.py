@@ -1,0 +1,121 @@
+"""Tests for the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.analysis.gantt import render_gantt
+from repro.core.job import Job
+from repro.core.modes import ExecutionMode
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+from repro.sim.tracing import ExecutionTrace
+
+
+def finished_job(job_id, *, start, end, deadline, mode=None):
+    job = Job(
+        job_id=job_id,
+        benchmark="bzip2",
+        target=QoSTarget(
+            ResourceVector(1, 7),
+            TimeslotRequest(max_wall_clock=end - start, deadline=deadline),
+            mode if mode is not None else ExecutionMode.strict(),
+        ),
+        arrival_time=start,
+        instructions=10,
+    )
+    job.mark_accepted()
+    job.mark_started(start, core_id=0)
+    job.advance(10)
+    job.mark_completed(end)
+    return job
+
+
+def simple_trace(job, *, mode=None, cpu_share=1.0):
+    trace = ExecutionTrace()
+    trace.update(
+        job.start_time,
+        job.job_id,
+        mode=mode if mode is not None else ExecutionMode.strict(),
+        ways=7,
+        core_id=0,
+        cpu_share=cpu_share,
+    )
+    trace.finish(job.completion_time, job.job_id)
+    return trace
+
+
+class TestRendering:
+    def test_strict_bar_and_slack(self):
+        job = finished_job(1, start=0.0, end=5.0, deadline=10.0)
+        text = render_gantt([job], simple_trace(job), width=20)
+        row = text.splitlines()[0]
+        assert row.startswith("job   1 |")
+        assert "S" in row
+        assert "." in row  # slack run-out to the deadline
+
+    def test_missed_deadline_marked(self):
+        job = finished_job(1, start=0.0, end=9.0, deadline=5.0)
+        text = render_gantt([job], simple_trace(job), width=20, horizon=10.0)
+        assert "!" in text.splitlines()[0]
+
+    def test_opportunistic_glyphs(self):
+        opp = ExecutionMode.opportunistic()
+        job = finished_job(1, start=0.0, end=4.0, deadline=8.0, mode=opp)
+        trace = ExecutionTrace()
+        trace.update(0.0, 1, mode=opp, ways=2, core_id=1, cpu_share=0.0)
+        trace.update(2.0, 1, mode=opp, ways=2, core_id=1, cpu_share=0.5)
+        trace.finish(4.0, 1)
+        text = render_gantt([job], trace, width=16, horizon=8.0)
+        row = text.splitlines()[0]
+        assert "o" in row  # queued portion
+        assert "O" in row  # running portion
+
+    def test_legend_and_scale_present(self):
+        job = finished_job(1, start=0.0, end=5.0, deadline=10.0)
+        text = render_gantt([job], simple_trace(job), width=20)
+        assert "legend:" in text
+        assert "10" in text  # horizon label
+
+    def test_requires_jobs(self):
+        with pytest.raises(ValueError):
+            render_gantt([], ExecutionTrace())
+
+    def test_rows_have_uniform_width(self):
+        jobs = [
+            finished_job(1, start=0.0, end=5.0, deadline=10.0),
+            finished_job(2, start=2.0, end=8.0, deadline=10.0),
+        ]
+        trace = ExecutionTrace()
+        for job in jobs:
+            trace.update(
+                job.start_time,
+                job.job_id,
+                mode=ExecutionMode.strict(),
+                ways=7,
+                core_id=job.job_id,
+                cpu_share=1.0,
+            )
+            trace.finish(job.completion_time, job.job_id)
+        text = render_gantt(jobs, trace, width=30)
+        bar_lines = text.splitlines()[:2]
+        assert len({len(line) for line in bar_lines}) == 1
+
+
+class TestEndToEnd:
+    def test_renders_a_real_simulation(self):
+        from repro.core.config import ALL_STRICT_AUTODOWN
+        from repro.sim.config import SimulationConfig
+        from repro.sim.system import QoSSystemSimulator
+        from repro.workloads.composer import single_benchmark_workload
+        from tests.sim.conftest import linear_curve
+
+        curves = {
+            "bzip2": linear_curve("bzip2", 0.0275, high=0.6, low=0.18, knee=7)
+        }
+        workload = single_benchmark_workload("bzip2", ALL_STRICT_AUTODOWN)
+        result = QoSSystemSimulator(
+            workload, curves=curves, sim_config=SimulationConfig()
+        ).run()
+        text = render_gantt(result.jobs, result.trace)
+        assert text.count("job ") == 10
+        # AutoDown runs produce both Opportunistic and Strict glyphs.
+        assert "O" in text or "o" in text
+        assert "S" in text

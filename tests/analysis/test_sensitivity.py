@@ -1,0 +1,80 @@
+"""Tests for the Figure 4 sensitivity classification."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityPoint,
+    classify_benchmarks,
+    sensitivity_point,
+    sensitivity_points,
+)
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.profiler import MissRatioCurve
+
+
+def curve_from_rates(rates, h2=0.02):
+    return MissRatioCurve(
+        benchmark="x", l2_accesses_per_instruction=h2, points=dict(rates)
+    )
+
+
+class TestClassification:
+    def test_group1_shape(self):
+        point = SensitivityPoint("x", 1, 1.0, 0.5)
+        assert point.classify() == 1
+
+    def test_group2_shape(self):
+        # Hurt by deep cuts only: big 7->1, small 7->4.
+        point = SensitivityPoint("x", 2, 0.6, 0.05)
+        assert point.classify() == 2
+
+    def test_group3_shape(self):
+        point = SensitivityPoint("x", 3, 0.1, 0.02)
+        assert point.classify() == 3
+
+    def test_threshold_is_tunable(self):
+        point = SensitivityPoint("x", 1, 0.4, 0.3)
+        assert point.classify(threshold=0.25) == 1
+        assert point.classify(threshold=0.35) == 2
+
+
+class TestMeasurement:
+    def test_point_from_synthetic_curve(self):
+        profile = BENCHMARKS["bzip2"]
+        curve = curve_from_rates(
+            {1: 0.6, 4: 0.4, 7: 0.2, 16: 0.17},
+            h2=profile.l2_accesses_per_instruction,
+        )
+        point = sensitivity_point(profile, curve=curve)
+        assert point.benchmark == "bzip2"
+        assert point.declared_group == 1
+        assert point.cpi_increase_7_to_1 > point.cpi_increase_7_to_4 > 0
+
+    def test_flat_curve_measures_insensitive(self):
+        profile = BENCHMARKS["gobmk"]
+        curve = curve_from_rates(
+            {1: 0.25, 4: 0.24, 7: 0.24, 16: 0.24},
+            h2=profile.l2_accesses_per_instruction,
+        )
+        point = sensitivity_point(profile, curve=curve)
+        assert point.classify() == 3
+
+
+class TestRepresentativesEndToEnd:
+    """Real profiling on the three representatives (small traces)."""
+
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sensitivity_points(
+            ["bzip2", "hmmer", "gobmk"], num_sets=32, accesses=12_000
+        )
+
+    def test_representatives_classify_into_their_groups(self, points):
+        groups = classify_benchmarks(points)
+        assert groups["bzip2"] == 1
+        assert groups["hmmer"] == 2
+        assert groups["gobmk"] == 3
+
+    def test_measured_matches_declared(self, points):
+        for point in points:
+            assert point.classify() == point.declared_group

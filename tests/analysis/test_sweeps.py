@@ -1,0 +1,92 @@
+"""Tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    sweep_arrival_rate,
+    sweep_cache_size,
+    sweep_elastic_slack,
+)
+from repro.core.cluster import ClusterJobProfile
+from repro.core.spec import ResourceVector
+from repro.sim.config import SimulationConfig
+from tests.sim.conftest import linear_curve
+
+
+CURVES = {
+    "bzip2": linear_curve("bzip2", 0.0275, high=0.60, low=0.18, knee=7),
+}
+
+
+class TestSlackSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_elastic_slack(
+            "bzip2",
+            (0.02, 0.10, 0.20),
+            curves=dict(CURVES),
+            sim_config=SimulationConfig(),
+        )
+
+    def test_one_point_per_slack(self, points):
+        assert [p.slack for p in points] == [0.02, 0.10, 0.20]
+
+    def test_elastic_slowdown_grows_with_slack(self, points):
+        series = [p.elastic_mean_wall_clock for p in points]
+        assert series == sorted(series)
+        # And always within the granted slack.
+        baseline = series[0] / (1 + 0.02)
+        for point in points:
+            assert point.elastic_mean_wall_clock <= baseline * (
+                1 + point.slack
+            ) * 1.02
+
+    def test_deadlines_always_met(self, points):
+        assert all(p.deadline_hit_rate == 1.0 for p in points)
+
+    def test_stealing_active(self, points):
+        assert all(p.steal_transfers > 0 for p in points)
+
+
+class TestCacheSizeSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_cache_size(
+            "bzip2",
+            (8, 16, 32),
+            curves=dict(CURVES),
+            sim_config=SimulationConfig(),
+        )
+
+    def test_sizes_reported(self, points):
+        assert [p.l2_ways for p in points] == [8, 16, 32]
+        assert points[1].l2_bytes == 2 * 1024 * 1024
+
+    def test_more_cache_never_slower(self, points):
+        series = [p.makespan_cycles for p in points]
+        assert series[0] >= series[1] >= series[2] * 0.999
+
+    def test_guarantee_holds_at_every_size(self, points):
+        assert all(p.deadline_hit_rate == 1.0 for p in points)
+
+    def test_too_small_cache_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_cache_size("bzip2", (1,), curves=dict(CURVES))
+
+
+class TestArrivalSweep:
+    def test_acceptance_falls_with_load(self):
+        profile = ClusterJobProfile(
+            name="medium",
+            weight=1.0,
+            resources=ResourceVector(cores=1, cache_ways=7),
+            mean_wall_clock=1.0,
+            deadline_multiplier=1.1,
+        )
+        points = sweep_arrival_rate(
+            [profile], (1.0, 0.2, 0.05), num_nodes=2, horizon=20.0
+        )
+        rates = [p.acceptance_rate for p in points]
+        assert rates[0] >= rates[1] >= rates[2]
+        loads = [p.mean_load for p in points]
+        assert loads[0] <= loads[2]

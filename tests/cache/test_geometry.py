@@ -1,0 +1,115 @@
+"""Tests for cache geometry and address slicing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+
+
+def l2_geometry():
+    return CacheGeometry(
+        size_bytes=2 * 1024 * 1024, associativity=16, block_bytes=64
+    )
+
+
+class TestConstruction:
+    def test_machine_l2_shape(self):
+        geometry = l2_geometry()
+        assert geometry.num_sets == 2048
+        assert geometry.num_blocks == 32768
+        assert geometry.offset_bits == 6
+        assert geometry.index_bits == 11
+
+    def test_machine_l1_shape(self):
+        geometry = CacheGeometry(
+            size_bytes=32 * 1024, associativity=4, block_bytes=64
+        )
+        assert geometry.num_sets == 128
+        assert geometry.num_blocks == 512
+
+    def test_way_bytes_matches_paper(self):
+        # One way of the 2MB/16-way L2 is 128KB; the paper's 896KB
+        # request is exactly 7 ways.
+        geometry = l2_geometry()
+        assert geometry.way_bytes == 128 * 1024
+        assert geometry.ways_to_bytes(7) == 896 * 1024
+
+    def test_from_sets_allows_non_power_of_two_size(self):
+        # A 7-way partition view is not a power-of-two total size.
+        view = CacheGeometry.from_sets(2048, 7, 64)
+        assert view.num_sets == 2048
+        assert view.associativity == 7
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry.from_sets(100, 4, 64)
+
+    def test_rejects_non_power_of_two_block(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, associativity=2, block_bytes=48)
+
+    def test_rejects_block_larger_than_cache(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=64, associativity=1, block_bytes=128)
+
+    def test_rejects_non_dividing_associativity(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, associativity=3, block_bytes=64)
+
+    def test_rejects_zero_associativity(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(size_bytes=1024, associativity=0, block_bytes=64)
+
+    def test_ways_to_bytes_range_check(self):
+        with pytest.raises(ValueError):
+            l2_geometry().ways_to_bytes(17)
+
+    def test_str_is_informative(self):
+        assert "2048KB/16-way/64B" in str(l2_geometry())
+
+
+class TestAddressSlicing:
+    def test_offset_within_block_is_ignored(self):
+        geometry = l2_geometry()
+        base = 0x123456 & ~0x3F
+        for offset in (0, 1, 33, 63):
+            assert geometry.set_index(base + offset) == geometry.set_index(base)
+            assert geometry.tag(base + offset) == geometry.tag(base)
+
+    def test_consecutive_blocks_hit_consecutive_sets(self):
+        geometry = l2_geometry()
+        indices = [geometry.set_index(block * 64) for block in range(4)]
+        assert indices == [0, 1, 2, 3]
+
+    def test_set_index_wraps_after_all_sets(self):
+        geometry = l2_geometry()
+        assert geometry.set_index(geometry.num_sets * 64) == 0
+
+    def test_compose_rejects_bad_set_index(self):
+        with pytest.raises(ValueError):
+            l2_geometry().compose(1, 4096)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_compose_inverts_slicing(self, address):
+        geometry = l2_geometry()
+        rebuilt = geometry.compose(
+            geometry.tag(address), geometry.set_index(address)
+        )
+        # compose returns the block-aligned address.
+        assert rebuilt == (address >> 6) << 6
+
+    @given(
+        st.integers(min_value=0, max_value=2**24),
+        st.integers(min_value=0, max_value=2047),
+    )
+    def test_slicing_inverts_compose(self, tag, set_index):
+        geometry = l2_geometry()
+        address = geometry.compose(tag, set_index)
+        assert geometry.tag(address) == tag
+        assert geometry.set_index(address) == set_index
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_block_address_strips_offset_bits(self, address):
+        geometry = l2_geometry()
+        assert geometry.block_address(address) == address // 64

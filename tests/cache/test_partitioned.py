@@ -1,0 +1,215 @@
+"""Tests for the way-partitioned shared L2 (Section 4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partitioned import PartitionClass, WayPartitionedCache
+
+
+def make_cache(associativity=4, num_sets=4, num_cores=2):
+    geometry = CacheGeometry.from_sets(num_sets, associativity, 64)
+    return WayPartitionedCache(geometry, num_cores)
+
+
+def addr(set_index, tag, cache):
+    return cache.geometry.compose(tag, set_index)
+
+
+class TestTargets:
+    def test_targets_default_to_zero(self):
+        cache = make_cache()
+        assert cache.target_of(0) == 0
+        assert cache.unallocated_ways() == 4
+
+    def test_set_target_tracks_unallocated(self):
+        cache = make_cache()
+        cache.set_target(0, 3)
+        assert cache.unallocated_ways() == 1
+
+    def test_total_targets_cannot_exceed_ways(self):
+        cache = make_cache(associativity=4)
+        cache.set_target(0, 3)
+        with pytest.raises(ValueError, match="exceeding"):
+            cache.set_target(1, 2)
+
+    def test_target_range_checked(self):
+        cache = make_cache(associativity=4)
+        with pytest.raises(ValueError):
+            cache.set_target(0, 5)
+        with pytest.raises(ValueError):
+            cache.set_target(0, -1)
+
+    def test_bad_core_rejected(self):
+        cache = make_cache(num_cores=2)
+        with pytest.raises(ValueError):
+            cache.set_target(2, 1)
+
+    def test_release_core_frees_target(self):
+        cache = make_cache()
+        cache.set_target(0, 4)
+        cache.release_core(0)
+        assert cache.target_of(0) == 0
+        assert cache.class_of(0) is PartitionClass.UNASSIGNED
+
+
+class TestVictimSelection:
+    def test_under_target_core_steals_from_over_allocated(self):
+        cache = make_cache(associativity=2, num_sets=1, num_cores=2)
+        cache.set_target(0, 1)
+        cache.set_target(1, 1)
+        cache.set_class(0, PartitionClass.RESERVED)
+        cache.set_class(1, PartitionClass.RESERVED)
+        # Core 0 fills both ways (over-allocated: 2 > target 1).
+        cache.access(0, addr(0, 1, cache))
+        cache.access(0, addr(0, 2, cache))
+        # Core 1's miss must evict a core-0 block, not fail.
+        result = cache.access(1, addr(0, 3, cache))
+        assert result.victim_core == 0
+        assert cache.set_occupancy(0, 0) == 1
+        assert cache.set_occupancy(1, 0) == 1
+
+    def test_core_at_target_replaces_own_blocks(self):
+        cache = make_cache(associativity=4, num_sets=1, num_cores=2)
+        cache.set_target(0, 2)
+        cache.set_target(1, 2)
+        for tag in (1, 2):
+            cache.access(0, addr(0, tag, cache))
+        for tag in (11, 12):
+            cache.access(1, addr(0, tag, cache))
+        # Core 0 at target: a new miss evicts core 0's own LRU block.
+        result = cache.access(0, addr(0, 3, cache))
+        assert result.victim_core == 0
+        assert cache.set_occupancy(1, 0) == 2
+
+    def test_reserved_over_allocated_evicted_before_best_effort(self):
+        cache = make_cache(associativity=4, num_sets=1, num_cores=3)
+        # Core 0: RESERVED, shrinking target (stealing scenario).
+        cache.set_class(0, PartitionClass.RESERVED)
+        cache.set_class(1, PartitionClass.BEST_EFFORT)
+        cache.set_target(0, 3)
+        cache.set_target(1, 1)
+        for tag in (1, 2, 3):
+            cache.access(0, addr(0, tag, cache))
+        cache.access(1, addr(0, 21, cache))
+        # Now core 0's target drops to 1 (two ways stolen): core 0 is
+        # over-allocated RESERVED; core 1 is at target BEST_EFFORT.
+        cache.set_target(0, 1)
+        cache.set_target(1, 3)
+        result = cache.access(1, addr(0, 22, cache))
+        assert result.victim_core == 0  # reserved donor evicted first
+
+    def test_unassigned_blocks_are_preferred_victims(self):
+        cache = make_cache(associativity=2, num_sets=1, num_cores=2)
+        cache.set_target(0, 2)
+        # Core 1 (unassigned) leaves blocks behind.
+        cache.access(1, addr(0, 9, cache))
+        cache.access(0, addr(0, 1, cache))
+        cache.set_class(0, PartitionClass.RESERVED)
+        result = cache.access(0, addr(0, 2, cache))
+        assert result.victim_core == 1
+
+    def test_best_effort_lru_fallback_when_nobody_over_allocated(self):
+        cache = make_cache(associativity=2, num_sets=1, num_cores=3)
+        cache.set_class(1, PartitionClass.BEST_EFFORT)
+        cache.set_class(2, PartitionClass.BEST_EFFORT)
+        cache.set_target(0, 2)
+        cache.set_class(0, PartitionClass.RESERVED)
+        cache.set_target(1, 0)
+        cache.set_target(2, 0)
+        # Best-effort cores with 0 targets fill the set; they are
+        # "over-allocated" (1 > 0) so the reserved core can reclaim.
+        cache.access(1, addr(0, 5, cache))
+        cache.access(2, addr(0, 6, cache))
+        result = cache.access(0, addr(0, 1, cache))
+        assert result.victim_core in (1, 2)
+
+
+class TestConvergence:
+    def test_per_set_counters_converge_to_targets(self):
+        """The Section 4.1 property: per-set occupancy reaches the
+        target in every set, making behaviour run-to-run uniform."""
+        cache = make_cache(associativity=4, num_sets=8, num_cores=2)
+        cache.set_target(0, 3)
+        cache.set_target(1, 1)
+        cache.set_class(0, PartitionClass.RESERVED)
+        cache.set_class(1, PartitionClass.RESERVED)
+        # Both cores cycle disjoint working sets larger than their share.
+        for round_index in range(40):
+            for set_index in range(8):
+                for tag in range(4):
+                    cache.access(0, addr(set_index, tag, cache))
+                for tag in range(100, 102):
+                    cache.access(1, addr(set_index, tag, cache))
+        for set_index in range(8):
+            assert cache.set_occupancy(0, set_index) == 3
+            assert cache.set_occupancy(1, set_index) == 1
+        assert cache.allocation_error(0) == 0.0
+
+    def test_flush_core_clears_blocks_and_counters(self):
+        cache = make_cache()
+        cache.set_target(0, 2)
+        for set_index in range(4):
+            cache.access(0, addr(set_index, 1, cache))
+        flushed = cache.flush_core(0)
+        assert flushed == 4
+        assert cache.occupancy_of(0) == 0
+        for set_index in range(4):
+            assert cache.set_occupancy(0, set_index) == 0
+
+
+class TestCounterInvariants:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # core
+                st.integers(min_value=0, max_value=31),  # block
+                st.booleans(),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_counters_match_reality(self, accesses):
+        cache = make_cache(associativity=2, num_sets=4, num_cores=3)
+        cache.set_target(0, 1)
+        cache.set_target(1, 1)
+        cache.set_class(0, PartitionClass.RESERVED)
+        cache.set_class(1, PartitionClass.BEST_EFFORT)
+        for core, block, is_write in accesses:
+            cache.access(core, block * 64, is_write=is_write)
+        # Per-set counters must agree with the actual tag array.
+        for core in range(3):
+            total = 0
+            for set_index in range(4):
+                counted = cache.set_occupancy(core, set_index)
+                actual = sum(
+                    1
+                    for line in cache._lines[set_index]
+                    if line.valid and line.core_id == core
+                )
+                assert counted == actual
+                total += counted
+            assert cache.occupancy_of(core) == total
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1),
+                st.integers(min_value=0, max_value=63),
+            ),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stats_invariants(self, accesses):
+        cache = make_cache(associativity=4, num_sets=4, num_cores=2)
+        cache.set_target(0, 2)
+        cache.set_target(1, 2)
+        for core, block in accesses:
+            cache.access(core, block * 64)
+        stats = cache.stats
+        assert stats.hits + stats.misses == len(accesses)
+        per_core_total = sum(c.accesses for c in stats.per_core.values())
+        assert per_core_total == stats.accesses

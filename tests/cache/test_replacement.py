@@ -1,0 +1,129 @@
+"""Tests for replacement policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLruPolicy:
+    def test_victim_is_least_recently_used(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.insert(way)
+        policy.touch(0)  # order (MRU→LRU): 0, 3, 2, 1
+        assert policy.victim(range(4)) == 1
+
+    def test_untouched_ways_are_victimised_first(self):
+        policy = LruPolicy(4)
+        policy.insert(0)
+        policy.insert(1)
+        assert policy.victim(range(4)) == 2  # lowest untouched way
+
+    def test_victim_respects_candidate_scope(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.insert(way)
+        # LRU is way 0, but it is out of scope.
+        assert policy.victim([2, 3]) == 2
+
+    def test_invalidate_removes_from_stack(self):
+        policy = LruPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.insert(way)
+        policy.invalidate(0)
+        assert 0 not in policy.recency_order()
+        # Invalidated way becomes "untouched" and is preferred again.
+        assert policy.victim(range(4)) == 0
+
+    def test_touch_moves_to_front(self):
+        policy = LruPolicy(3)
+        policy.insert(0)
+        policy.insert(1)
+        policy.touch(0)
+        assert policy.recency_order() == [0, 1]
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(4).victim([])
+
+    def test_way_bounds_checked(self):
+        with pytest.raises(ValueError):
+            LruPolicy(4).touch(4)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=100))
+    def test_stack_is_always_a_permutation_of_touched_ways(self, touches):
+        policy = LruPolicy(8)
+        for way in touches:
+            policy.touch(way)
+        order = policy.recency_order()
+        assert sorted(set(order)) == sorted(set(touches))
+        assert len(order) == len(set(order))
+
+    @given(st.lists(st.integers(min_value=0, max_value=7), max_size=100))
+    def test_victim_is_always_a_candidate(self, touches):
+        policy = LruPolicy(8)
+        for way in touches:
+            policy.touch(way)
+        assert policy.victim(range(8)) in range(8)
+        assert policy.victim([3, 5]) in (3, 5)
+
+
+class TestFifoPolicy:
+    def test_eviction_order_is_fill_order(self):
+        policy = FifoPolicy(4)
+        for way in (2, 0, 3, 1):
+            policy.insert(way)
+        assert policy.victim(range(4)) == 2
+
+    def test_hits_do_not_change_order(self):
+        policy = FifoPolicy(4)
+        for way in (0, 1, 2, 3):
+            policy.insert(way)
+        policy.touch(0)  # hit on the oldest
+        assert policy.victim(range(4)) == 0
+
+    def test_reinsert_moves_to_back(self):
+        policy = FifoPolicy(2)
+        policy.insert(0)
+        policy.insert(1)
+        policy.insert(0)  # refilled
+        assert policy.victim(range(2)) == 1
+
+
+class TestRandomPolicy:
+    def test_victim_in_candidates(self):
+        policy = RandomPolicy(8)
+        for _ in range(50):
+            assert policy.victim([1, 4, 6]) in (1, 4, 6)
+
+    def test_deterministic_with_same_seed(self):
+        from repro.util.rng import DeterministicRng
+
+        a = RandomPolicy(8, DeterministicRng(7, "x"))
+        b = RandomPolicy(8, DeterministicRng(7, "x"))
+        picks_a = [a.victim(range(8)) for _ in range(20)]
+        picks_b = [b.victim(range(8)) for _ in range(20)]
+        assert picks_a == picks_b
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("fifo", FifoPolicy), ("random", RandomPolicy),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name, 4), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown replacement policy"):
+            make_policy("plru", 4)

@@ -1,0 +1,124 @@
+"""Tests for the admission advisor."""
+
+import pytest
+
+from repro.core.admission import LocalAdmissionController
+from repro.core.advisor import advise
+from repro.core.job import Job
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+
+
+def node():
+    return LocalAdmissionController(ResourceVector(4, 16))
+
+
+def make_job(job_id=1, *, ways=7, tw=10.0, deadline=10.5, mode=None):
+    return Job(
+        job_id=job_id,
+        benchmark="bzip2",
+        target=QoSTarget(
+            ResourceVector(1, ways),
+            TimeslotRequest(max_wall_clock=tw, deadline=deadline),
+            mode if mode is not None else ExecutionMode.strict(),
+        ),
+        arrival_time=0.0,
+        instructions=1000,
+    )
+
+
+def fill_node(lac):
+    """Occupy 14 of 16 ways with two running Strict jobs."""
+    for job_id in (101, 102):
+        decision = lac.admit(make_job(job_id, deadline=10.5), now=0.0)
+        assert decision.accepted
+
+
+class TestAdmissibleJob:
+    def test_as_requested_comes_first(self):
+        lac = node()
+        options = advise(lac, make_job(), now=0.0)
+        assert options[0].description == "as requested"
+        assert options[0].guaranteed
+        assert options[0].reserved_start == 0.0
+
+    def test_trial_leaves_no_reservation_behind(self):
+        lac = node()
+        advise(lac, make_job(), now=0.0)
+        assert lac.used_at(1.0) == ResourceVector(0, 0)
+
+    def test_opportunistic_fallback_always_listed(self):
+        lac = node()
+        options = advise(lac, make_job(), now=0.0)
+        assert options[-1].mode.kind is ModeKind.OPPORTUNISTIC
+        assert not options[-1].guaranteed
+
+
+class TestBlockedStrictJob:
+    def test_tight_deadline_gets_counter_offer(self):
+        lac = node()
+        fill_node(lac)
+        options = advise(lac, make_job(3, deadline=10.5), now=0.0)
+        descriptions = [o.description for o in options]
+        assert "as requested" not in descriptions
+        relax = [o for o in options if "relax deadline" in o.description]
+        assert relax
+        # The counter-offer is genuinely admissible.
+        assert relax[0].reserved_start == pytest.approx(10.0)
+        assert relax[0].target.timeslot.deadline == pytest.approx(20.0)
+
+    def test_slack_job_offered_elastic_downgrade(self):
+        lac = node()
+        fill_node(lac)
+        # Deadline 25: slack of 15 over tw=10 -> Elastic(1.5) is
+        # interchangeable, and its stretched reservation fits later.
+        options = advise(lac, make_job(3, deadline=25.0), now=0.0)
+        descriptions = [o.description for o in options]
+        # The original already fits (start at 10 <= 25-10): listed first.
+        assert "as requested" in descriptions
+
+    def test_blocked_job_with_slack_but_no_immediate_fit(self):
+        lac = node()
+        # Fill far into the future so nothing fits before deadline 25.
+        for job_id in (101, 102):
+            lac.admit(make_job(job_id, tw=30.0, deadline=40.0), now=0.0)
+        options = advise(lac, make_job(3, deadline=25.0), now=0.0)
+        assert all(o.description != "as requested" for o in options)
+        relax = [o for o in options if "relax deadline" in o.description]
+        assert relax
+        assert relax[0].reserved_start == pytest.approx(30.0)
+        # And the Opportunistic fallback still closes the list.
+        assert options[-1].mode.kind is ModeKind.OPPORTUNISTIC
+
+    def test_every_returned_reserved_option_is_admissible(self):
+        lac = node()
+        fill_node(lac)
+        job = make_job(3, deadline=12.0)
+        for option in advise(lac, job, now=0.0):
+            if not option.guaranteed:
+                continue
+            retry = Job(
+                job_id=99,
+                benchmark="bzip2",
+                target=option.target,
+                arrival_time=0.0,
+                instructions=1000,
+            )
+            decision = lac.admit(retry, now=0.0)
+            assert decision.accepted, option.description
+            lac.cancel(decision.reservation)
+
+
+class TestHopelessRequests:
+    def test_over_capacity_request_gets_no_options(self):
+        lac = node()
+        options = advise(lac, make_job(ways=17), now=0.0)
+        assert options == []
+
+    def test_opportunistic_job_gets_single_option(self):
+        lac = node()
+        job = make_job(mode=ExecutionMode.opportunistic())
+        options = advise(lac, job, now=0.0)
+        # "As requested" is itself Opportunistic; no duplicate fallback.
+        assert len(options) == 1
+        assert options[0].mode.kind is ModeKind.OPPORTUNISTIC

@@ -1,0 +1,108 @@
+"""Tests for bandwidth as a reserved RUM resource (future-work extension).
+
+Section 3.2 of the paper names the off-chip bandwidth rate as the next
+resource a complete RUM target would include.  The extension adds a
+``bandwidth_share`` dimension to :class:`ResourceVector`, reservable
+through the same LAC arithmetic and enforceable by the fair-queuing
+bus of :mod:`repro.mem.fair_queue`.
+"""
+
+import pytest
+
+from repro.core.admission import LocalAdmissionController
+from repro.core.job import Job
+from repro.core.modes import ExecutionMode
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+
+
+def make_job(job_id, *, bandwidth, deadline=100.0):
+    return Job(
+        job_id=job_id,
+        benchmark="bzip2",
+        target=QoSTarget(
+            ResourceVector(cores=1, cache_ways=2, bandwidth_share=bandwidth),
+            TimeslotRequest(max_wall_clock=10.0, deadline=deadline),
+            ExecutionMode.strict(),
+        ),
+        arrival_time=0.0,
+        instructions=1000,
+    )
+
+
+class TestVectorArithmetic:
+    def test_default_is_zero_bandwidth(self):
+        assert ResourceVector(1, 7).bandwidth_share == 0.0
+
+    def test_fits_checks_bandwidth(self):
+        capacity = ResourceVector(4, 16, bandwidth_share=1.0)
+        assert ResourceVector(1, 2, 0.5).fits_within(capacity)
+        assert not ResourceVector(1, 2, 0.5).fits_within(
+            ResourceVector(4, 16, 0.4)
+        )
+
+    def test_add_and_subtract(self):
+        total = ResourceVector(1, 2, 0.3) + ResourceVector(1, 2, 0.4)
+        assert total.bandwidth_share == pytest.approx(0.7)
+        left = total - ResourceVector(1, 2, 0.3)
+        assert left.bandwidth_share == pytest.approx(0.4)
+
+    def test_subtract_cannot_go_negative(self):
+        with pytest.raises(ValueError):
+            ResourceVector(2, 2, 0.1) - ResourceVector(1, 1, 0.2)
+
+    def test_share_is_a_fraction(self):
+        with pytest.raises(ValueError):
+            ResourceVector(1, 1, 1.5)
+
+    def test_pure_bandwidth_vector_is_not_zero(self):
+        assert not ResourceVector(bandwidth_share=0.2).is_zero()
+
+    def test_str_mentions_bus(self):
+        assert "bus" in str(ResourceVector(1, 2, 0.25))
+        assert "bus" not in str(ResourceVector(1, 2))
+
+
+class TestBandwidthAdmission:
+    def test_lac_reserves_bandwidth(self):
+        lac = LocalAdmissionController(
+            ResourceVector(cores=4, cache_ways=16, bandwidth_share=1.0)
+        )
+        assert lac.admit(make_job(1, bandwidth=0.6), now=0.0).accepted
+        assert lac.admit(make_job(2, bandwidth=0.4), now=0.0).accepted
+        # Bus fully booked: a third bandwidth request must wait for a
+        # free slot even though cores and ways are plentiful.
+        third = lac.admit(make_job(3, bandwidth=0.2, deadline=10.4), now=0.0)
+        assert not third.accepted
+
+    def test_bandwidth_freed_after_reservations_end(self):
+        lac = LocalAdmissionController(
+            ResourceVector(cores=4, cache_ways=16, bandwidth_share=1.0)
+        )
+        lac.admit(make_job(1, bandwidth=1.0), now=0.0)
+        later = lac.admit(make_job(2, bandwidth=0.5, deadline=40.0), now=0.0)
+        assert later.accepted
+        assert later.reserved_start == pytest.approx(10.0)
+
+    def test_legacy_two_resource_nodes_unchanged(self):
+        # Nodes without bandwidth capacity accept zero-bandwidth jobs
+        # exactly as before the extension.
+        lac = LocalAdmissionController(ResourceVector(cores=4, cache_ways=16))
+        job = Job(
+            job_id=1,
+            benchmark="bzip2",
+            target=QoSTarget(
+                ResourceVector(cores=1, cache_ways=7),
+                TimeslotRequest(max_wall_clock=10.0, deadline=100.0),
+            ),
+            arrival_time=0.0,
+            instructions=1000,
+        )
+        assert lac.admit(job, now=0.0).accepted
+
+    def test_available_at_tracks_bandwidth(self):
+        lac = LocalAdmissionController(
+            ResourceVector(cores=4, cache_ways=16, bandwidth_share=1.0)
+        )
+        lac.admit(make_job(1, bandwidth=0.6), now=0.0)
+        available = lac.available_at(5.0)
+        assert available.bandwidth_share == pytest.approx(0.4)

@@ -1,0 +1,182 @@
+"""Tests for the reservation-level cluster simulator."""
+
+import pytest
+
+from repro.core.cluster import (
+    ClusterJobProfile,
+    ClusterSimulator,
+    size_cluster,
+)
+from repro.core.spec import ResourceVector
+
+
+def medium_profile(weight=1.0, tw=1.0, mult=2.0):
+    return ClusterJobProfile(
+        name="medium",
+        weight=weight,
+        resources=ResourceVector(cores=1, cache_ways=7),
+        mean_wall_clock=tw,
+        deadline_multiplier=mult,
+    )
+
+
+def small_profile():
+    return ClusterJobProfile(
+        name="small",
+        weight=1.0,
+        resources=ResourceVector(cores=1, cache_ways=3),
+        mean_wall_clock=0.5,
+    )
+
+
+class TestSimulation:
+    def test_light_load_all_accepted(self):
+        simulator = ClusterSimulator(
+            num_nodes=4,
+            profiles=[medium_profile()],
+            mean_interarrival=2.0,  # arrivals far apart vs tw=1
+        )
+        report = simulator.run(horizon=40.0)
+        assert report.submitted > 10
+        assert report.acceptance_rate > 0.95
+
+    def test_heavy_load_rejects(self):
+        simulator = ClusterSimulator(
+            num_nodes=1,
+            profiles=[medium_profile(mult=1.1)],
+            mean_interarrival=0.05,  # 20 jobs per tw on a 2-slot node
+        )
+        report = simulator.run(horizon=20.0)
+        assert report.rejected > 0
+        assert report.acceptance_rate < 0.5
+        assert report.counter_offers > 0
+
+    def test_acceptance_grows_with_nodes(self):
+        rates = []
+        for nodes in (1, 2, 4):
+            report = ClusterSimulator(
+                num_nodes=nodes,
+                profiles=[medium_profile(mult=1.1)],
+                mean_interarrival=0.2,
+            ).run(horizon=30.0)
+            rates.append(report.acceptance_rate)
+        assert rates[0] < rates[1] <= rates[2]
+
+    def test_placements_spread_over_nodes(self):
+        report = ClusterSimulator(
+            num_nodes=3,
+            profiles=[medium_profile(mult=1.1)],
+            mean_interarrival=0.1,
+        ).run(horizon=30.0)
+        # First-fit fills node 0 first, but overflow must reach others.
+        assert len(report.placements_per_node) >= 2
+
+    def test_per_class_rates(self):
+        report = ClusterSimulator(
+            num_nodes=1,
+            profiles=[medium_profile(mult=1.1), small_profile()],
+            mean_interarrival=0.05,
+        ).run(horizon=20.0)
+        # Small jobs fit in leftover capacity more often.
+        assert report.class_acceptance_rate(
+            "small"
+        ) >= report.class_acceptance_rate("medium")
+
+    def test_deterministic(self):
+        def run():
+            return ClusterSimulator(
+                num_nodes=2,
+                profiles=[medium_profile()],
+                mean_interarrival=0.3,
+                seed=7,
+            ).run(horizon=20.0)
+
+        a, b = run(), run()
+        assert a.accepted == b.accepted
+        assert a.rejected == b.rejected
+        assert a.mean_load == b.mean_load
+
+    def test_load_sampled(self):
+        report = ClusterSimulator(
+            num_nodes=2,
+            profiles=[medium_profile()],
+            mean_interarrival=0.3,
+        ).run(horizon=20.0)
+        assert 0.0 <= report.mean_load <= 1.0
+        assert report.load_samples.count == report.submitted
+
+
+class TestPlacementPolicy:
+    def test_least_loaded_never_worse_under_bursts(self):
+        def rate(policy):
+            return ClusterSimulator(
+                num_nodes=3,
+                profiles=[medium_profile(mult=1.1)],
+                mean_interarrival=0.1,
+                placement_policy=policy,
+            ).run(horizon=25.0).acceptance_rate
+
+        assert rate("least_loaded") >= rate("first_fit") - 0.02
+
+
+class TestSizing:
+    def test_size_cluster_finds_minimum(self):
+        profiles = [medium_profile(mult=1.1)]
+        nodes = size_cluster(
+            profiles=profiles,
+            mean_interarrival=0.25,
+            target_acceptance=0.9,
+            horizon=25.0,
+        )
+        assert nodes >= 1
+        # Minimality: one node fewer misses the target.
+        if nodes > 1:
+            smaller = ClusterSimulator(
+                num_nodes=nodes - 1,
+                profiles=profiles,
+                mean_interarrival=0.25,
+            ).run(horizon=25.0)
+            assert smaller.acceptance_rate < 0.9
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(ValueError, match="cannot reach"):
+            size_cluster(
+                profiles=[medium_profile(mult=1.0)],
+                mean_interarrival=0.0001,
+                target_acceptance=1.0,
+                horizon=5.0,
+                max_nodes=2,
+            )
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            size_cluster(
+                profiles=[medium_profile()],
+                mean_interarrival=1.0,
+                target_acceptance=1.5,
+            )
+
+
+class TestValidation:
+    def test_needs_profiles(self):
+        with pytest.raises(ValueError):
+            ClusterSimulator(
+                num_nodes=1, profiles=[], mean_interarrival=1.0
+            )
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            ClusterJobProfile(
+                name="x",
+                weight=0.0,
+                resources=ResourceVector(1, 1),
+                mean_wall_clock=1.0,
+            )
+        with pytest.raises(ValueError):
+            ClusterJobProfile(
+                name="x",
+                weight=1.0,
+                resources=ResourceVector(1, 1),
+                mean_wall_clock=1.0,
+                deadline_multiplier=0.9,
+            )

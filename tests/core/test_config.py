@@ -1,0 +1,111 @@
+"""Tests for the Table 2 configurations."""
+
+import pytest
+
+from repro.core.config import (
+    ALL_STRICT,
+    ALL_STRICT_AUTODOWN,
+    CONFIGURATIONS,
+    EQUAL_PART,
+    HYBRID_1,
+    HYBRID_2,
+    ModeMixConfig,
+)
+from repro.core.modes import ModeKind
+
+
+class TestTable2Definitions:
+    def test_all_five_present(self):
+        assert set(CONFIGURATIONS) == {
+            "All-Strict",
+            "Hybrid-1",
+            "Hybrid-2",
+            "All-Strict+AutoDown",
+            "EqualPart",
+        }
+
+    def test_all_strict(self):
+        assert ALL_STRICT.strict_fraction == 1.0
+        assert not ALL_STRICT.auto_downgrade
+        assert ALL_STRICT.uses_admission_control
+
+    def test_hybrid_1_is_70_30(self):
+        assert HYBRID_1.strict_fraction == pytest.approx(0.7)
+        assert HYBRID_1.opportunistic_fraction == pytest.approx(0.3)
+        assert HYBRID_1.elastic_fraction == 0.0
+
+    def test_hybrid_2_is_40_30_30_with_5pct_slack(self):
+        assert HYBRID_2.strict_fraction == pytest.approx(0.4)
+        assert HYBRID_2.elastic_fraction == pytest.approx(0.3)
+        assert HYBRID_2.opportunistic_fraction == pytest.approx(0.3)
+        assert HYBRID_2.elastic_slack == pytest.approx(0.05)
+
+    def test_autodown_flag(self):
+        assert ALL_STRICT_AUTODOWN.auto_downgrade
+        assert ALL_STRICT_AUTODOWN.strict_fraction == 1.0
+
+    def test_equalpart_has_no_admission_control(self):
+        assert EQUAL_PART.equal_partition
+        assert not EQUAL_PART.uses_admission_control
+
+
+class TestValidation:
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ModeMixConfig(name="bad", strict_fraction=0.5)
+
+    def test_equal_partition_skips_sum_check(self):
+        config = ModeMixConfig(
+            name="ep", strict_fraction=0.0, equal_partition=True
+        )
+        assert config.equal_partition
+
+
+class TestModeSequence:
+    def test_all_strict_sequence(self):
+        modes = ALL_STRICT.mode_sequence(10)
+        assert all(m.kind is ModeKind.STRICT for m in modes)
+
+    def test_hybrid_1_counts(self):
+        modes = HYBRID_1.mode_sequence(10)
+        kinds = [m.kind for m in modes]
+        assert kinds.count(ModeKind.STRICT) == 7
+        assert kinds.count(ModeKind.OPPORTUNISTIC) == 3
+
+    def test_hybrid_2_counts_and_slack(self):
+        modes = HYBRID_2.mode_sequence(10)
+        kinds = [m.kind for m in modes]
+        assert kinds.count(ModeKind.STRICT) == 4
+        assert kinds.count(ModeKind.ELASTIC) == 3
+        assert kinds.count(ModeKind.OPPORTUNISTIC) == 3
+        elastic = [m for m in modes if m.kind is ModeKind.ELASTIC]
+        assert all(m.slack == pytest.approx(0.05) for m in elastic)
+
+    def test_sequence_interleaves_modes(self):
+        # Greedy largest-deficit assignment should not batch all the
+        # Opportunistic jobs at the end.
+        kinds = [m.kind for m in HYBRID_1.mode_sequence(10)]
+        first_half = kinds[:5]
+        assert ModeKind.OPPORTUNISTIC in first_half
+
+    def test_sequence_is_deterministic(self):
+        assert HYBRID_2.mode_sequence(10) == HYBRID_2.mode_sequence(10)
+
+    def test_equalpart_sequence_is_all_strict(self):
+        modes = EQUAL_PART.mode_sequence(4)
+        assert all(m.kind is ModeKind.STRICT for m in modes)
+
+    def test_zero_count(self):
+        assert ALL_STRICT.mode_sequence(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ALL_STRICT.mode_sequence(-1)
+
+    @pytest.mark.parametrize("count", [1, 3, 7, 10, 33, 100])
+    def test_fractions_approximated_at_any_count(self, count):
+        modes = HYBRID_2.mode_sequence(count)
+        kinds = [m.kind for m in modes]
+        assert abs(kinds.count(ModeKind.STRICT) - 0.4 * count) <= 1
+        assert abs(kinds.count(ModeKind.ELASTIC) - 0.3 * count) <= 1
+        assert abs(kinds.count(ModeKind.OPPORTUNISTIC) - 0.3 * count) <= 1

@@ -1,0 +1,160 @@
+"""Tests for the Global Admission Controller (Section 3.1)."""
+
+import pytest
+
+from repro.core.admission import LocalAdmissionController
+from repro.core.gac import GlobalAdmissionController
+from repro.core.job import Job
+from repro.core.modes import ExecutionMode
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+
+
+def make_job(job_id=1, *, ways=7, tw=10.0, deadline=10.5, mode=None):
+    return Job(
+        job_id=job_id,
+        benchmark="bzip2",
+        target=QoSTarget(
+            ResourceVector(1, ways),
+            TimeslotRequest(max_wall_clock=tw, deadline=deadline),
+            mode if mode is not None else ExecutionMode.strict(),
+        ),
+        arrival_time=0.0,
+        instructions=1000,
+    )
+
+
+def make_gac(nodes=2):
+    return GlobalAdmissionController(
+        [
+            LocalAdmissionController(ResourceVector(4, 16))
+            for _ in range(nodes)
+        ]
+    )
+
+
+class TestPlacement:
+    def test_places_on_first_feasible_node(self):
+        gac = make_gac()
+        result = gac.place(make_job(1), now=0.0)
+        assert result.accepted
+        assert result.node_index == 0
+
+    def test_spills_to_second_node_when_first_full(self):
+        gac = make_gac()
+        # Fill node 0: two 7-way jobs with tight deadlines.
+        assert gac.place(make_job(1), now=0.0).node_index == 0
+        assert gac.place(make_job(2), now=0.0).node_index == 0
+        third = gac.place(make_job(3), now=0.0)
+        assert third.accepted
+        assert third.node_index == 1
+
+    def test_rejects_when_every_node_full(self):
+        gac = make_gac(nodes=1)
+        gac.place(make_job(1), now=0.0)
+        gac.place(make_job(2), now=0.0)
+        result = gac.place(make_job(3), now=0.0)
+        assert not result.accepted
+        assert result.node_index is None
+        assert len(result.probes) == 1
+
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(ValueError):
+            GlobalAdmissionController([])
+
+
+class TestNegotiation:
+    def test_counter_offer_when_rejected(self):
+        gac = make_gac(nodes=1)
+        gac.place(make_job(1), now=0.0)
+        gac.place(make_job(2), now=0.0)
+        result = gac.place(make_job(3), now=0.0)
+        assert not result.accepted
+        # The earliest any node could finish the job: after the first
+        # reservations end (t=10) plus tw.
+        assert result.counter_offer_deadline == pytest.approx(20.0)
+
+    def test_renegotiated_target_is_feasible(self):
+        gac = make_gac(nodes=1)
+        gac.place(make_job(1), now=0.0)
+        gac.place(make_job(2), now=0.0)
+        job = make_job(3)
+        relaxed = gac.renegotiated_target(job, now=0.0)
+        assert relaxed is not None
+        retry = Job(
+            job_id=4,
+            benchmark="bzip2",
+            target=relaxed,
+            arrival_time=0.0,
+            instructions=1000,
+        )
+        assert gac.place(retry, now=0.0).accepted
+
+    def test_no_counter_offer_for_impossible_request(self):
+        gac = make_gac(nodes=1)
+        job = make_job(1, ways=17)
+        result = gac.place(job, now=0.0)
+        assert not result.accepted
+        assert result.counter_offer_deadline is None
+
+
+class TestPlacementPolicies:
+    def test_least_loaded_spreads_jobs(self):
+        gac = GlobalAdmissionController(
+            [
+                LocalAdmissionController(ResourceVector(4, 16))
+                for _ in range(3)
+            ],
+            placement_policy="least_loaded",
+        )
+        placements = [
+            gac.place(make_job(i), now=0.0).node_index for i in range(1, 4)
+        ]
+        # Each of the first three jobs lands on a different node.
+        assert sorted(placements) == [0, 1, 2]
+
+    def test_first_fit_packs_node_zero(self):
+        gac = make_gac(nodes=3)
+        placements = [
+            gac.place(make_job(i), now=0.0).node_index for i in range(1, 3)
+        ]
+        assert placements == [0, 0]
+
+    def test_least_loaded_accepts_burst_first_fit_rejects(self):
+        # Two 12-way jobs then two more: first-fit packs node 0 with
+        # one job (12 ways) and cannot co-locate a second; with two
+        # nodes both policies place two jobs, but with a following
+        # burst of tight 8-way jobs the spread cluster has headroom.
+        def burst(policy):
+            gac = GlobalAdmissionController(
+                [
+                    LocalAdmissionController(ResourceVector(4, 16))
+                    for _ in range(2)
+                ],
+                placement_policy=policy,
+            )
+            accepted = 0
+            for job_id, ways in enumerate((12, 12, 4, 4), start=1):
+                job = make_job(job_id, ways=ways)
+                if gac.place(job, now=0.0).accepted:
+                    accepted += 1
+            return accepted
+
+        assert burst("least_loaded") >= burst("first_fit")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="placement_policy"):
+            GlobalAdmissionController(
+                [LocalAdmissionController(ResourceVector(4, 16))],
+                placement_policy="random",
+            )
+
+
+class TestLoadAccounting:
+    def test_total_capacity(self):
+        assert make_gac(nodes=3).total_capacity_cores() == 12
+
+    def test_load_at(self):
+        gac = make_gac(nodes=2)
+        gac.place(make_job(1), now=0.0)
+        assert gac.load_at(5.0) == pytest.approx(1 / 8)
+        assert gac.load_at(50.0) == 0.0

@@ -1,0 +1,139 @@
+"""Tests for the prior-work IPC-target manager (the Figure 1 foil)."""
+
+import pytest
+
+from repro.core.ipc_manager import IpcManagedJob, IpcTargetManager
+from repro.cpu.cpi import CpiModel
+from repro.workloads.profiler import MissRatioCurve
+
+
+def bzip2_like_curve():
+    """A curve shaped like the calibrated bzip2: flat above 7 ways,
+    steep below 6."""
+    points = {
+        1: 0.63, 2: 0.54, 3: 0.51, 4: 0.50, 5: 0.44, 6: 0.37,
+        7: 0.20, 8: 0.17, 9: 0.17, 10: 0.17, 11: 0.17, 12: 0.17,
+        13: 0.17, 14: 0.17, 15: 0.17, 16: 0.17,
+    }
+    return MissRatioCurve(
+        benchmark="bzip2", l2_accesses_per_instruction=0.0275, points=points
+    )
+
+
+def bzip2_model():
+    return CpiModel(
+        cpi_l1_inf=1.0,
+        l2_accesses_per_instruction=0.0275,
+        l2_access_penalty=10.0,
+        l2_miss_penalty=300.0,
+    )
+
+
+def managed_job(job_id, target_ipc=0.25):
+    return IpcManagedJob(
+        job_id=job_id,
+        target_ipc=target_ipc,
+        curve=bzip2_like_curve(),
+        cpi_model=bzip2_model(),
+    )
+
+
+class TestGreedySearch:
+    def test_single_job_gets_everything_it_needs(self):
+        manager = IpcTargetManager(16)
+        manager.add_job(managed_job(1))
+        result = manager.rebalance()
+        assert result.all_met
+        assert result.allocation[1] <= 16
+
+    def test_two_jobs_both_met(self):
+        # The Figure 1 situation at two instances: 8 ways each suffice.
+        manager = IpcTargetManager(16)
+        manager.add_job(managed_job(1))
+        manager.add_job(managed_job(2))
+        result = manager.rebalance()
+        assert result.all_met
+
+    def test_three_jobs_cannot_all_be_met(self):
+        # Figure 1's point: the manager accepts all three, tries its
+        # best, and still fails — no allocation of 16 ways gives three
+        # bzip2 instances IPC 0.25 each.
+        manager = IpcTargetManager(16)
+        for job_id in (1, 2, 3):
+            manager.add_job(managed_job(job_id))
+        result = manager.rebalance()
+        assert not result.all_met
+        assert sum(result.allocation.values()) <= 16
+
+    def test_max_satisfiable_matches_figure1(self):
+        manager = IpcTargetManager(16)
+        assert manager.max_satisfiable_instances(managed_job(0)) == 2
+
+    def test_allocation_never_exceeds_capacity(self):
+        manager = IpcTargetManager(16)
+        for job_id in range(6):
+            manager.add_job(managed_job(job_id, target_ipc=0.5))
+        result = manager.rebalance()
+        assert sum(result.allocation.values()) <= 16
+        assert all(w >= 1 for w in result.allocation.values())
+
+    def test_deficit_jobs_served_before_surplus_jobs(self):
+        # A starving job is fed until its target is met before surplus
+        # ways chase marginal gains elsewhere.
+        manager = IpcTargetManager(16)
+        manager.add_job(managed_job(1, target_ipc=0.05))  # trivially met
+        manager.add_job(managed_job(2, target_ipc=0.30))  # needs cache
+        result = manager.rebalance()
+        assert result.all_met
+        assert result.allocation[2] >= 7  # the ways its target demands
+
+    def test_ill_defined_target_never_met(self):
+        # IPC 2.0 is above the zero-miss ceiling: unsatisfiable no
+        # matter the allocation (the paper's "ill-defined" case).
+        manager = IpcTargetManager(16)
+        manager.add_job(managed_job(1, target_ipc=2.0))
+        result = manager.rebalance()
+        assert not result.all_met
+
+
+class TestBookkeeping:
+    def test_duplicate_job_rejected(self):
+        manager = IpcTargetManager(16)
+        manager.add_job(managed_job(1))
+        with pytest.raises(ValueError, match="already managed"):
+            manager.add_job(managed_job(1))
+
+    def test_remove_job(self):
+        manager = IpcTargetManager(16)
+        manager.add_job(managed_job(1))
+        manager.remove_job(1)
+        assert manager.rebalance().allocation == {}
+        with pytest.raises(ValueError):
+            manager.remove_job(1)
+
+    def test_empty_manager(self):
+        result = IpcTargetManager(16).rebalance()
+        assert result.all_met  # vacuously
+        assert result.met_count == 0
+
+    def test_target_must_be_positive(self):
+        with pytest.raises(ValueError):
+            managed_job(1, target_ipc=0.0)
+
+
+class TestContrastWithAdmissionControl:
+    def test_feasibility_is_what_the_lac_would_check(self):
+        """The paper's framework rejects what this manager over-accepts:
+        feasibility() exposes exactly that information."""
+        manager = IpcTargetManager(16)
+        for job_id in (1, 2):
+            manager.add_job(managed_job(job_id))
+        assert manager.feasibility().all_met
+        manager.add_job(managed_job(3))
+        report = manager.feasibility()
+        assert not report.all_met
+        # The deficit-equalising greedy spreads the shortage: *every*
+        # instance ends below target — precisely Figure 1's bars.  An
+        # admission controller would instead have rejected the third
+        # job and kept the first two whole.
+        assert report.met_count == 0

@@ -1,0 +1,119 @@
+"""Tests for the job lifecycle."""
+
+import pytest
+
+from repro.core.job import Job, JobState
+from repro.core.modes import ExecutionMode
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+
+
+def make_job(mode=None, deadline=12.0):
+    return Job(
+        job_id=1,
+        benchmark="bzip2",
+        target=QoSTarget(
+            ResourceVector(1, 7),
+            TimeslotRequest(max_wall_clock=10.0, deadline=deadline),
+            mode if mode is not None else ExecutionMode.strict(),
+        ),
+        arrival_time=0.0,
+        instructions=100,
+    )
+
+
+class TestLifecycle:
+    def test_happy_path(self):
+        job = make_job()
+        assert job.state is JobState.SUBMITTED
+        job.mark_accepted()
+        job.mark_started(1.0, core_id=2)
+        assert job.assigned_core == 2
+        job.advance(100)
+        assert job.is_finished
+        job.mark_completed(9.0)
+        assert job.state is JobState.COMPLETED
+        assert job.wall_clock_time == pytest.approx(8.0)
+        assert job.met_deadline is True
+
+    def test_rejection_path(self):
+        job = make_job()
+        job.mark_rejected()
+        assert job.state is JobState.REJECTED
+
+    def test_invalid_transitions_raise(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            job.mark_started(0.0, core_id=0)  # not accepted yet
+        job.mark_accepted()
+        with pytest.raises(ValueError):
+            job.mark_completed(1.0)  # not running yet
+        with pytest.raises(ValueError):
+            job.mark_accepted()  # already accepted
+
+    def test_missed_deadline(self):
+        job = make_job(deadline=5.0)
+        job.mark_accepted()
+        job.mark_started(0.0, core_id=0)
+        job.advance(100)
+        job.mark_completed(6.0)
+        assert job.met_deadline is False
+
+    def test_met_deadline_none_while_running(self):
+        job = make_job()
+        job.mark_accepted()
+        job.mark_started(0.0, core_id=0)
+        assert job.met_deadline is None
+
+    def test_no_deadline_job(self):
+        job = Job(
+            job_id=2,
+            benchmark="gobmk",
+            target=QoSTarget(ResourceVector(1, 7)),
+            arrival_time=0.0,
+            instructions=10,
+        )
+        assert job.deadline is None
+        assert job.max_wall_clock is None
+        job.mark_accepted()
+        job.mark_started(0.0, core_id=0)
+        job.advance(10)
+        job.mark_completed(1.0)
+        assert job.met_deadline is None
+
+
+class TestProgress:
+    def test_remaining_instructions(self):
+        job = make_job()
+        job.mark_accepted()
+        job.mark_started(0.0, core_id=0)
+        job.advance(40)
+        assert job.remaining_instructions == 60
+        assert not job.is_finished
+
+    def test_advance_rejects_negative(self):
+        job = make_job()
+        with pytest.raises(ValueError):
+            job.advance(-1)
+
+
+class TestModeHistory:
+    def test_initial_mode_recorded(self):
+        job = make_job()
+        assert job.current_mode == ExecutionMode.strict()
+        assert job.mode_history == [(0.0, ExecutionMode.strict())]
+
+    def test_mode_changes_append(self):
+        job = make_job()
+        job.change_mode(1.0, ExecutionMode.opportunistic())
+        job.change_mode(5.0, ExecutionMode.strict())
+        assert [m for _, m in job.mode_history] == [
+            ExecutionMode.strict(),
+            ExecutionMode.opportunistic(),
+            ExecutionMode.strict(),
+        ]
+        assert job.requested_mode == ExecutionMode.strict()
+
+    def test_same_mode_change_is_noop(self):
+        job = make_job()
+        job.change_mode(1.0, ExecutionMode.strict())
+        assert len(job.mode_history) == 1

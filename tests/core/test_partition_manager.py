@@ -1,0 +1,143 @@
+"""Tests for the per-node partition ledger."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partitioned import PartitionClass, WayPartitionedCache
+from repro.core.partition_manager import PartitionManager
+
+
+def ledger():
+    return PartitionManager(total_ways=16, num_cores=4)
+
+
+class TestAssignment:
+    def test_assign_and_query(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        assert pm.allocation(0) == 7
+        assert pm.class_of(0) is PartitionClass.RESERVED
+        assert pm.spare_ways() == 9
+
+    def test_over_commit_rejected(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 7, PartitionClass.RESERVED)
+        with pytest.raises(ValueError, match="exceed"):
+            pm.assign(2, 3, PartitionClass.RESERVED)
+
+    def test_release(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.release(0)
+        assert pm.allocation(0) == 0
+        assert pm.class_of(0) is PartitionClass.UNASSIGNED
+        assert pm.spare_ways() == 16
+
+    def test_find_idle_core(self):
+        pm = ledger()
+        assert pm.find_idle_core() == 0
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        assert pm.find_idle_core() == 1
+
+
+class TestSpareDistribution:
+    def test_spare_split_among_best_effort_cores(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 7, PartitionClass.RESERVED)
+        pm.assign(2, 0, PartitionClass.BEST_EFFORT)
+        pm.assign(3, 0, PartitionClass.BEST_EFFORT)
+        bonuses = pm.redistribute_spare()
+        assert bonuses == {2: 1, 3: 1}
+        assert pm.spare_ways() == 0
+
+    def test_remainder_goes_to_first_cores(self):
+        pm = ledger()
+        pm.assign(0, 13, PartitionClass.RESERVED)
+        pm.assign(1, 0, PartitionClass.BEST_EFFORT)
+        pm.assign(2, 0, PartitionClass.BEST_EFFORT)
+        bonuses = pm.redistribute_spare()
+        assert bonuses == {1: 2, 2: 1}
+
+    def test_no_best_effort_leaves_spare_idle(self):
+        # External fragmentation: 2 ways stay unallocated (the
+        # All-Strict situation the paper describes in Section 7.1).
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 7, PartitionClass.RESERVED)
+        assert pm.redistribute_spare() == {}
+        assert pm.spare_ways() == 2
+
+
+class TestStealingTransfers:
+    def test_transfer_moves_reserved_to_bonus(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 0, PartitionClass.BEST_EFFORT)
+        pm.transfer(0, 1, ways=2)
+        assert pm.reserved_allocation(0) == 5
+        assert pm.allocation(1) == 2
+
+    def test_restore_reverses_transfer(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 0, PartitionClass.BEST_EFFORT)
+        pm.transfer(0, 1, ways=2)
+        pm.restore(to_core=0, from_core=1, ways=2)
+        assert pm.reserved_allocation(0) == 7
+        assert pm.allocation(1) == 0
+
+    def test_cannot_donate_more_than_reserved(self):
+        pm = ledger()
+        pm.assign(0, 2, PartitionClass.RESERVED)
+        with pytest.raises(ValueError):
+            pm.transfer(0, 1, ways=3)
+
+    def test_cannot_restore_more_than_bonus(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 0, PartitionClass.BEST_EFFORT)
+        pm.transfer(0, 1, ways=1)
+        with pytest.raises(ValueError):
+            pm.restore(to_core=0, from_core=1, ways=2)
+
+
+class TestGrowingDemandTrimsBonuses:
+    def test_new_reservation_reclaims_bonus_ways(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 0, PartitionClass.BEST_EFFORT)
+        pm.redistribute_spare()
+        assert pm.allocation(1) == 9
+        # A second reserved job arrives: the ledger trims the bonus.
+        pm.assign(2, 7, PartitionClass.RESERVED)
+        total = sum(pm.allocation(core) for core in range(4))
+        assert total <= 16
+        assert pm.reserved_allocation(2) == 7
+
+
+class TestCacheSync:
+    def test_apply_to_cache_sets_targets_and_classes(self):
+        pm = ledger()
+        pm.assign(0, 7, PartitionClass.RESERVED)
+        pm.assign(1, 2, PartitionClass.BEST_EFFORT)
+        cache = WayPartitionedCache(
+            CacheGeometry(
+                size_bytes=2 * 1024 * 1024, associativity=16, block_bytes=64
+            ),
+            num_cores=4,
+        )
+        pm.apply_to_cache(cache)
+        assert cache.target_of(0) == 7
+        assert cache.target_of(1) == 2
+        assert cache.class_of(0) is PartitionClass.RESERVED
+        assert cache.class_of(1) is PartitionClass.BEST_EFFORT
+
+    def test_apply_rejects_mismatched_cache(self):
+        pm = ledger()
+        cache = WayPartitionedCache(
+            CacheGeometry.from_sets(64, 8, 64), num_cores=4
+        )
+        with pytest.raises(ValueError, match="ways"):
+            pm.apply_to_cache(cache)

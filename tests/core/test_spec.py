@@ -1,0 +1,148 @@
+"""Tests for QoS target specification (Section 3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.modes import ExecutionMode
+from repro.core.spec import (
+    IpcTarget,
+    MissRateTarget,
+    PRESET_TARGETS,
+    QoSTarget,
+    ResourceVector,
+    TargetResolutionError,
+    TimeslotRequest,
+)
+from repro.cpu.cpi import CpiModel
+from repro.workloads.profiler import MissRatioCurve
+
+
+def synthetic_curve():
+    """A hand-built, strictly improving miss-ratio curve."""
+    points = {w: max(0.05, 0.8 - 0.05 * w) for w in range(1, 17)}
+    return MissRatioCurve(
+        benchmark="synthetic",
+        l2_accesses_per_instruction=0.02,
+        points=points,
+    )
+
+
+class TestResourceVector:
+    def test_fits_within(self):
+        assert ResourceVector(1, 7).fits_within(ResourceVector(4, 16))
+        assert not ResourceVector(1, 7).fits_within(ResourceVector(4, 6))
+        assert not ResourceVector(5, 1).fits_within(ResourceVector(4, 16))
+
+    def test_addition_and_subtraction(self):
+        total = ResourceVector(1, 7) + ResourceVector(2, 3)
+        assert total == ResourceVector(3, 10)
+        assert total - ResourceVector(1, 7) == ResourceVector(2, 3)
+
+    def test_subtraction_cannot_go_negative(self):
+        with pytest.raises(ValueError):
+            ResourceVector(1, 1) - ResourceVector(2, 0)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(-1, 0)
+
+    def test_is_zero(self):
+        assert ResourceVector().is_zero()
+        assert not ResourceVector(cores=1).is_zero()
+
+    @given(
+        st.integers(min_value=0, max_value=16),
+        st.integers(min_value=0, max_value=16),
+        st.integers(min_value=0, max_value=16),
+        st.integers(min_value=0, max_value=16),
+    )
+    def test_fits_within_is_componentwise(self, c1, w1, c2, w2):
+        fits = ResourceVector(c1, w1).fits_within(ResourceVector(c2, w2))
+        assert fits == (c1 <= c2 and w1 <= w2)
+
+
+class TestTimeslotRequest:
+    def test_slack(self):
+        slot = TimeslotRequest(max_wall_clock=10.0, deadline=25.0)
+        assert slot.slack_at(5.0) == pytest.approx(10.0)
+
+    def test_no_deadline_no_slack(self):
+        assert TimeslotRequest(max_wall_clock=10.0).slack_at(0.0) is None
+
+    def test_wall_clock_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimeslotRequest(max_wall_clock=0.0)
+
+
+class TestQoSTarget:
+    def test_rum_targets_are_convertible(self):
+        target = QoSTarget(ResourceVector(1, 7))
+        assert target.is_convertible
+
+    def test_must_request_something(self):
+        with pytest.raises(ValueError):
+            QoSTarget(ResourceVector(0, 0))
+
+    def test_reservation_duration_follows_mode(self):
+        slot = TimeslotRequest(max_wall_clock=10.0, deadline=30.0)
+        strict = QoSTarget(ResourceVector(1, 7), slot)
+        elastic = strict.with_mode(ExecutionMode.elastic(0.05))
+        opportunistic = strict.with_mode(ExecutionMode.opportunistic())
+        assert strict.reservation_duration() == pytest.approx(10.0)
+        assert elastic.reservation_duration() == pytest.approx(10.5)
+        assert opportunistic.reservation_duration() == 0.0
+
+    def test_lifetime_target_has_no_duration(self):
+        assert QoSTarget(ResourceVector(1, 7)).reservation_duration() is None
+
+    def test_presets_fit_the_machine(self):
+        machine = ResourceVector(cores=4, cache_ways=16)
+        for name, preset in PRESET_TARGETS.items():
+            assert preset.fits_within(machine), name
+
+
+class TestNonConvertibleTargets:
+    def test_ipc_target_is_not_convertible(self):
+        assert not IpcTarget(0.25).is_convertible
+
+    def test_miss_rate_target_is_not_convertible(self):
+        assert not MissRateTarget(0.2).is_convertible
+
+    def test_ipc_resolution_finds_minimum_ways(self):
+        curve = synthetic_curve()
+        cpi = CpiModel(
+            cpi_l1_inf=1.0,
+            l2_accesses_per_instruction=0.02,
+            l2_access_penalty=10.0,
+            l2_miss_penalty=300.0,
+        )
+        vector = IpcTarget(0.5).resolve(curve, cpi)
+        assert vector.cores == 1
+        # Verify minimality: one way less no longer meets the target.
+        assert cpi.ipc(curve.mpi(vector.cache_ways)) >= 0.5
+        if vector.cache_ways > 1:
+            assert cpi.ipc(curve.mpi(vector.cache_ways - 1)) < 0.5
+
+    def test_ill_defined_ipc_target_raises(self):
+        # The paper's point: some OPM targets cannot be satisfied by
+        # any allocation.
+        curve = synthetic_curve()
+        cpi = CpiModel(
+            cpi_l1_inf=1.0,
+            l2_accesses_per_instruction=0.02,
+            l2_access_penalty=10.0,
+            l2_miss_penalty=300.0,
+        )
+        with pytest.raises(TargetResolutionError):
+            IpcTarget(5.0).resolve(curve, cpi)
+
+    def test_miss_rate_resolution(self):
+        curve = synthetic_curve()
+        vector = MissRateTarget(0.5).resolve(curve)
+        assert curve.miss_rate(vector.cache_ways) <= 0.5
+
+    def test_ill_defined_miss_rate_target_raises(self):
+        curve = synthetic_curve()  # bottoms out at 0.05
+        with pytest.raises(TargetResolutionError):
+            MissRateTarget(0.01).resolve(curve)

@@ -1,0 +1,76 @@
+"""Tests for the trace-driven in-order core."""
+
+import pytest
+
+from repro.cpu.core import InOrderCore, MemoryAccess
+
+from tests.cpu.test_hierarchy import make_hierarchy
+
+
+def trace(addresses):
+    return iter(MemoryAccess(a) for a in addresses)
+
+
+class TestExecution:
+    def test_cycle_accounting(self):
+        h = make_hierarchy(num_cores=1)
+        core = InOrderCore(0, h, cpi_l1_inf=1.0, instructions_per_access=4)
+        result = core.execute(trace([0x1000]))
+        # 4 instructions of compute + one full miss (2 + 10 + 300).
+        assert result.instructions == 4
+        assert result.cycles == pytest.approx(4.0 + 312.0)
+        assert result.l2_misses == 1
+
+    def test_hits_accumulate_cheaply(self):
+        h = make_hierarchy(num_cores=1)
+        core = InOrderCore(0, h, cpi_l1_inf=1.0, instructions_per_access=4)
+        core.execute(trace([0x1000, 0x1000, 0x1000]))
+        result = core.result
+        assert result.l1_hits == 2
+        assert result.cycles == pytest.approx(316.0 + 2 * 6.0)
+
+    def test_max_accesses_truncates(self):
+        h = make_hierarchy(num_cores=1)
+        core = InOrderCore(0, h)
+        core.execute(trace([0x0, 0x40, 0x80, 0xC0]), max_accesses=2)
+        assert core.result.accesses == 2
+
+    def test_execute_accumulates_across_calls(self):
+        h = make_hierarchy(num_cores=1)
+        core = InOrderCore(0, h)
+        core.execute(trace([0x0]))
+        core.execute(trace([0x40]))
+        assert core.result.accesses == 2
+
+    def test_reset(self):
+        h = make_hierarchy(num_cores=1)
+        core = InOrderCore(0, h)
+        core.execute(trace([0x0]))
+        core.reset()
+        assert core.result.accesses == 0
+        assert core.result.cycles == 0.0
+
+    def test_derived_metrics(self):
+        h = make_hierarchy(num_cores=1)
+        core = InOrderCore(0, h, cpi_l1_inf=1.0, instructions_per_access=4)
+        result = core.execute(trace([0x1000, 0x1000]))
+        assert result.ipc == pytest.approx(
+            result.instructions / result.cycles
+        )
+        assert result.cpi == pytest.approx(1.0 / result.ipc)
+        assert result.l2_mpi == pytest.approx(1 / 8)
+        assert result.l2_miss_rate == 1.0  # single L2 access missed
+
+    def test_empty_result_metrics_are_zero(self):
+        h = make_hierarchy(num_cores=1)
+        core = InOrderCore(0, h)
+        assert core.result.ipc == 0.0
+        assert core.result.cpi == 0.0
+        assert core.result.l2_miss_rate == 0.0
+
+    def test_invalid_parameters(self):
+        h = make_hierarchy(num_cores=1)
+        with pytest.raises(ValueError):
+            InOrderCore(0, h, cpi_l1_inf=0.0)
+        with pytest.raises(ValueError):
+            InOrderCore(0, h, instructions_per_access=0)

@@ -1,0 +1,104 @@
+"""Tests for the L1 -> L2 -> DRAM access path."""
+
+import pytest
+
+from repro.cache.basic import SetAssociativeCache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partitioned import PartitionClass, WayPartitionedCache
+from repro.cache.shadow import ShadowTagArray
+from repro.cpu.hierarchy import MemoryHierarchy, ServiceLevel
+from repro.mem.dram import DramModel
+
+
+def make_hierarchy(num_cores=2):
+    l1s = {
+        core: SetAssociativeCache(
+            CacheGeometry.from_sets(4, 2, 64), name=f"l1-{core}"
+        )
+        for core in range(num_cores)
+    }
+    l2 = WayPartitionedCache(
+        CacheGeometry.from_sets(16, 4, 64), num_cores
+    )
+    for core in range(num_cores):
+        l2.set_target(core, 4 // num_cores)
+        l2.set_class(core, PartitionClass.RESERVED)
+    dram = DramModel(latency_cycles=300.0)
+    return MemoryHierarchy(l1s, l2, dram, l1_latency=2.0, l2_latency=10.0)
+
+
+class TestLatencies:
+    def test_cold_access_goes_to_memory(self):
+        h = make_hierarchy()
+        outcome = h.access(0, 0x1000)
+        assert outcome.level is ServiceLevel.MEMORY
+        assert outcome.latency_cycles == pytest.approx(312.0)
+        assert outcome.l2_hit is False
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        h.access(0, 0x1000)
+        outcome = h.access(0, 0x1000)
+        assert outcome.level is ServiceLevel.L1
+        assert outcome.latency_cycles == pytest.approx(2.0)
+        assert outcome.l2_hit is None
+
+    def test_l1_eviction_then_l2_hit(self):
+        h = make_hierarchy()
+        # L1 has 4 sets x 2 ways; address set = block % 4. These three
+        # blocks alias to L1 set 0 and evict each other, but all fit
+        # in the L2.
+        conflicting = [0x0, 4 * 64, 8 * 64]
+        for address in conflicting:
+            h.access(0, address)
+        outcome = h.access(0, conflicting[0])
+        assert outcome.level is ServiceLevel.L2
+        assert outcome.latency_cycles == pytest.approx(12.0)
+        assert outcome.l2_hit is True
+
+    def test_unknown_core_rejected(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError, match="no L1"):
+            h.access(9, 0x0)
+
+
+class TestWritebackAccounting:
+    def test_l2_dirty_eviction_counts_writeback(self):
+        h = make_hierarchy(num_cores=1)
+        h.l2_writeback_probe = None
+        # Fill one L2 set (4 ways) with writes, then overflow it.
+        l2_sets = 16
+        same_set = [(i * l2_sets) * 64 for i in range(5)]
+        for address in same_set:
+            h.access(0, address, is_write=True)
+        assert h.dram.writebacks >= 1
+
+
+class TestShadowIntegration:
+    def test_shadow_sees_l2_stream_only(self):
+        h = make_hierarchy(num_cores=1)
+        shadow = ShadowTagArray(
+            h.l2_cache.geometry, baseline_ways=2, sample_period=1
+        )
+        h.attach_shadow(0, shadow)
+        h.access(0, 0x1000)  # L1 miss -> L2 access: shadow sees it
+        h.access(0, 0x1000)  # L1 hit: shadow must NOT see it
+        assert shadow.sampled_accesses == 1
+
+    def test_attach_requires_known_core(self):
+        h = make_hierarchy(num_cores=1)
+        shadow = ShadowTagArray(
+            h.l2_cache.geometry, baseline_ways=2, sample_period=1
+        )
+        with pytest.raises(ValueError):
+            h.attach_shadow(5, shadow)
+
+    def test_detach_returns_shadow(self):
+        h = make_hierarchy(num_cores=1)
+        shadow = ShadowTagArray(
+            h.l2_cache.geometry, baseline_ways=2, sample_period=1
+        )
+        h.attach_shadow(0, shadow)
+        assert h.detach_shadow(0) is shadow
+        assert h.shadow_of(0) is None
+        assert h.detach_shadow(0) is None

@@ -1,0 +1,52 @@
+"""Tests for the DRAM model."""
+
+import pytest
+
+from repro.mem.dram import DramModel
+
+
+class TestDram:
+    def test_fixed_latency(self):
+        dram = DramModel(latency_cycles=300.0)
+        assert dram.access(0x1000) == 300.0
+
+    def test_counts_reads_and_writebacks(self):
+        dram = DramModel()
+        dram.access(0x0)
+        dram.access(0x40)
+        dram.record_writeback()
+        assert dram.reads == 2
+        assert dram.writebacks == 1
+        assert dram.total_transfers == 3
+
+    def test_traffic_bytes(self):
+        dram = DramModel()
+        dram.access(0x0)
+        dram.record_writeback()
+        assert dram.traffic_bytes(64) == 128
+
+    def test_out_of_range_address_rejected(self):
+        dram = DramModel(size_bytes=1024)
+        with pytest.raises(ValueError, match="outside"):
+            dram.access(1024)
+        with pytest.raises(ValueError):
+            dram.access(-1)
+
+    def test_machine_model_size_is_4gb(self):
+        dram = DramModel()
+        assert dram.size_bytes == 4 * 1024**3
+        # The highest valid address is fine.
+        dram.access(4 * 1024**3 - 1)
+
+    def test_reset_counters(self):
+        dram = DramModel()
+        dram.access(0x0)
+        dram.record_writeback()
+        dram.reset_counters()
+        assert dram.total_transfers == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DramModel(latency_cycles=-1.0)
+        with pytest.raises(ValueError):
+            DramModel(size_bytes=0)

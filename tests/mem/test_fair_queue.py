@@ -1,0 +1,113 @@
+"""Tests for the fair-queuing memory bus (future-work extension)."""
+
+import pytest
+
+from repro.mem.fair_queue import FairQueueBus, FcfsBus
+
+
+def flood(bus, core_id, count, *, start=0.0, gap=0.0):
+    """Submit ``count`` back-to-back requests from one core."""
+    t = start
+    for _ in range(count):
+        bus.submit(core_id, t)
+        t += gap
+
+
+class TestFcfsBaseline:
+    def test_serves_in_arrival_order(self):
+        bus = FcfsBus(service_cycles=10.0)
+        bus.submit(1, 5.0)
+        bus.submit(0, 0.0)
+        completed = bus.drain()
+        assert [r.core_id for r in completed] == [0, 1]
+
+    def test_back_to_back_requests_queue(self):
+        bus = FcfsBus(service_cycles=10.0)
+        flood(bus, 0, 3)
+        completed = bus.drain()
+        assert [r.finish for r in completed] == [10.0, 20.0, 30.0]
+
+    def test_aggressor_destroys_victim_latency(self):
+        # The problem fair queuing solves: under FCFS, a flood from
+        # core 0 queues ahead of core 1's single request.
+        bus = FcfsBus(service_cycles=10.0)
+        flood(bus, 0, 50)
+        bus.submit(1, 1.0)
+        bus.drain()
+        assert bus.mean_latency(1) > 400.0
+
+
+class TestFairQueueIsolation:
+    def test_light_core_isolated_from_aggressor(self):
+        """The QoS property: a 50%-share core's request overtakes an
+        aggressor's backlog and sees near-private latency."""
+        bus = FairQueueBus({0: 0.5, 1: 0.5}, service_cycles=10.0)
+        flood(bus, 0, 50)
+        bus.submit(1, 1.0)
+        bus.drain()
+        # Core 1's single request is bounded by its share guarantee.
+        assert bus.mean_latency(1) <= bus.guaranteed_latency_bound(1, 1)
+        # Compare: FCFS made it wait for the whole flood (~500 cycles).
+        assert bus.mean_latency(1) < 50.0
+
+    def test_shares_divide_sustained_bandwidth(self):
+        bus = FairQueueBus({0: 0.75, 1: 0.25}, service_cycles=10.0)
+        flood(bus, 0, 300)
+        flood(bus, 1, 300)
+        completed = bus.drain()
+        horizon = 300 * 10.0 * 2 * 0.5  # halfway through the drain
+        served = {0: 0, 1: 0}
+        for request in completed:
+            if request.finish <= horizon:
+                served[request.core_id] += 1
+        ratio = served[0] / max(1, served[1])
+        assert ratio == pytest.approx(3.0, rel=0.2)
+
+    def test_work_conserving_when_one_core_idle(self):
+        # Unused share goes to the backlogged core: 100 requests at
+        # service 10 finish at 1000, not 1000/share.
+        bus = FairQueueBus({0: 0.5, 1: 0.5}, service_cycles=10.0)
+        flood(bus, 0, 100)
+        completed = bus.drain()
+        assert completed[-1].finish == pytest.approx(1000.0)
+
+    def test_bus_never_overlaps_service(self):
+        bus = FairQueueBus({0: 0.6, 1: 0.4}, service_cycles=10.0)
+        flood(bus, 0, 20)
+        flood(bus, 1, 20, start=3.0)
+        completed = sorted(bus.drain(), key=lambda r: r.start)
+        for a, b in zip(completed, completed[1:]):
+            assert b.start >= a.finish - 1e-9
+
+    def test_latency_bound_holds_under_backlog(self):
+        bus = FairQueueBus({0: 0.5, 1: 0.5}, service_cycles=10.0)
+        flood(bus, 0, 200)
+        flood(bus, 1, 10)
+        bus.drain()
+        bound = bus.guaranteed_latency_bound(1, 10)
+        core1 = [r for r in bus.completed if r.core_id == 1]
+        assert max(r.latency for r in core1) <= bound + 1e-9
+
+
+class TestValidation:
+    def test_shares_must_fit_capacity(self):
+        with pytest.raises(ValueError, match="exceeding"):
+            FairQueueBus({0: 0.7, 1: 0.7})
+
+    def test_share_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FairQueueBus({0: 0.0})
+
+    def test_needs_some_share(self):
+        with pytest.raises(ValueError):
+            FairQueueBus({})
+
+    def test_unknown_core_rejected(self):
+        bus = FairQueueBus({0: 1.0})
+        with pytest.raises(ValueError, match="no bandwidth share"):
+            bus.submit(7, 0.0)
+
+    def test_unknown_core_latency_query(self):
+        bus = FairQueueBus({0: 1.0})
+        with pytest.raises(ValueError, match="issued no requests"):
+            bus.mean_latency(0)

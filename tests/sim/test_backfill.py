@@ -1,0 +1,132 @@
+"""Tests for the EASY-backfilling queue policy (extension)."""
+
+import pytest
+
+from repro.core.config import ModeMixConfig
+from repro.core.job import JobState
+from repro.core.modes import ExecutionMode
+from repro.sim.config import SimulationConfig
+from repro.sim.system import QoSSystemSimulator
+from repro.workloads.arrival import DeadlineClass
+from repro.workloads.composer import JobSpec, WorkloadSpec
+
+
+def heterogeneous_workload():
+    """Big 10-way jobs interleaved with small 3-way jobs.
+
+    Only one 10-way job fits at a time, and the big jobs' *tight*
+    deadlines stop them from booking far-future slots, so each blocks
+    the queue head until the previous big job is nearly done.  Under
+    FCFS the small jobs wait behind those blocked heads; backfill slips
+    them into the six spare ways without delaying anybody.
+    """
+    strict = ExecutionMode.strict()
+    specs = []
+    for _ in range(3):
+        specs.append(
+            JobSpec(
+                benchmark="bzip2",
+                mode=strict,
+                deadline_class=DeadlineClass.TIGHT,
+                requested_ways=10,
+            )
+        )
+        specs.append(
+            JobSpec(
+                benchmark="gobmk",
+                mode=strict,
+                deadline_class=DeadlineClass.RELAXED,
+                requested_ways=3,
+            )
+        )
+    return WorkloadSpec(
+        name="hetero",
+        jobs=tuple(specs),
+        configuration=ModeMixConfig(name="hetero", strict_fraction=1.0),
+    )
+
+
+def run(policy, fake_curves):
+    workload = heterogeneous_workload()
+    simulator = QoSSystemSimulator(
+        workload,
+        curves=fake_curves,
+        sim_config=SimulationConfig(
+            queue_policy=policy, accepted_jobs_target=6
+        ),
+        record_trace=True,
+    )
+    return simulator.run()
+
+
+class TestBackfill:
+    @pytest.fixture(scope="class")
+    def results(self, fake_curves):
+        return run("fcfs", fake_curves), run("backfill", fake_curves)
+
+    def test_backfill_actually_happens(self, results):
+        fcfs, backfill = results
+        assert fcfs.backfills == 0
+        assert backfill.backfills > 0
+
+    def test_all_jobs_complete_under_both(self, results):
+        for result in results:
+            assert len(result.jobs) == 6
+            assert all(
+                j.state is JobState.COMPLETED for j in result.jobs
+            )
+
+    def test_backfill_improves_small_job_turnaround(self, results):
+        fcfs, backfill = results
+
+        def small_completions(result):
+            return sorted(
+                j.completion_time
+                for j in result.jobs
+                if j.target.resources.cache_ways == 3
+            )
+
+        fcfs_smalls = small_completions(fcfs)
+        backfill_smalls = small_completions(backfill)
+        assert len(fcfs_smalls) == len(backfill_smalls) == 3
+        # The backfilled small jobs finish earlier on average, and the
+        # big-job critical path (the makespan) is never made worse.
+        assert sum(backfill_smalls) < sum(fcfs_smalls)
+        assert backfill.makespan_seconds <= fcfs.makespan_seconds + 1e-9
+
+    def test_qos_guarantee_survives_backfill(self, results):
+        _, backfill = results
+        # The whole point of the non-delay criterion: deadlines of
+        # every reserved job still hold.
+        assert backfill.deadline_report.hit_rate == 1.0
+
+    def test_no_oversubscription_under_backfill(self, results):
+        _, backfill = results
+        for t in backfill.trace.breakpoints():
+            assert backfill.trace.ways_in_use_at(t) <= 16
+            assert backfill.trace.cores_in_use_at(t) <= 4 + 1e-9
+
+    def test_uniform_requests_make_backfill_a_noop(self, fake_curves):
+        # When every job asks for the same 7 ways, any hole that fits a
+        # later job also fits the head: backfill changes nothing.
+        from repro.core.config import ALL_STRICT
+        from repro.workloads.composer import single_benchmark_workload
+
+        workload = single_benchmark_workload("bzip2", ALL_STRICT)
+        fcfs = QoSSystemSimulator(
+            workload,
+            curves=fake_curves,
+            sim_config=SimulationConfig(queue_policy="fcfs"),
+        ).run()
+        backfill = QoSSystemSimulator(
+            workload,
+            curves=fake_curves,
+            sim_config=SimulationConfig(queue_policy="backfill"),
+        ).run()
+        assert backfill.makespan_seconds == pytest.approx(
+            fcfs.makespan_seconds
+        )
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="queue_policy"):
+            SimulationConfig(queue_policy="sjf")

@@ -1,0 +1,127 @@
+"""Tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.sim.engine import EventQueue
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(3.0, lambda t: fired.append(("c", t)))
+        queue.schedule(1.0, lambda t: fired.append(("a", t)))
+        queue.schedule(2.0, lambda t: fired.append(("b", t)))
+        queue.run()
+        assert fired == [("a", 1.0), ("b", 2.0), ("c", 3.0)]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append("first"))
+        queue.schedule(1.0, lambda t: fired.append("second"))
+        queue.run()
+        assert fired == ["first", "second"]
+
+    def test_now_advances(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        queue.run()
+        assert queue.now == 5.0
+
+    def test_cannot_schedule_in_past(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda t: None)
+        queue.run()
+        with pytest.raises(ValueError, match="past"):
+            queue.schedule(4.0, lambda t: None)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(math.nan, lambda t: None)
+
+    def test_schedule_after(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(2.0, lambda t: queue.schedule_after(
+            3.0, lambda t2: fired.append(t2)
+        ))
+        queue.run()
+        assert fired == [5.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule_after(-1.0, lambda t: None)
+
+
+class TestCancellation:
+    def test_cancelled_events_do_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        handle = queue.schedule(1.0, lambda t: fired.append("x"))
+        handle.cancel()
+        queue.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda t: None)
+        handle.cancel()
+        handle.cancel()
+
+    def test_len_ignores_cancelled(self):
+        queue = EventQueue()
+        keep = queue.schedule(1.0, lambda t: None)
+        drop = queue.schedule(2.0, lambda t: None)
+        drop.cancel()
+        assert len(queue) == 1
+
+    def test_peek_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.schedule(1.0, lambda t: None)
+        queue.schedule(2.0, lambda t: None)
+        first.cancel()
+        assert queue.peek_time() == 2.0
+
+
+class TestRunControls:
+    def test_until_horizon(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda t: fired.append(t))
+        queue.schedule(10.0, lambda t: fired.append(t))
+        queue.run(until=5.0)
+        assert fired == [1.0]
+        queue.run()
+        assert fired == [1.0, 10.0]
+
+    def test_stop_when_predicate(self):
+        queue = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            queue.schedule(t, lambda time: fired.append(time))
+        queue.run(stop_when=lambda: len(fired) >= 2)
+        assert fired == [1.0, 2.0]
+
+    def test_event_budget_guards_runaway(self):
+        queue = EventQueue()
+
+        def reschedule(t):
+            queue.schedule_after(1.0, reschedule)
+
+        queue.schedule(0.0, reschedule)
+        with pytest.raises(RuntimeError, match="budget"):
+            queue.run(max_events=100)
+
+    def test_step_returns_false_when_empty(self):
+        assert EventQueue().step() is False
+
+    def test_events_fired_counter(self):
+        queue = EventQueue()
+        for t in (1.0, 2.0):
+            queue.schedule(t, lambda time: None)
+        queue.run()
+        assert queue.events_fired == 2

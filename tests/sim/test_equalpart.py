@@ -1,0 +1,92 @@
+"""Integration tests for the EqualPart baseline simulator."""
+
+import pytest
+
+from repro.core.config import ALL_STRICT, EQUAL_PART
+from repro.core.job import JobState
+from repro.sim.config import SimulationConfig
+from repro.sim.equalpart import EqualPartSimulator
+from repro.sim.system import QoSSystemSimulator
+from repro.workloads.composer import single_benchmark_workload
+
+
+SIM = SimulationConfig()
+
+
+def run_equalpart(benchmark, fake_curves, **kwargs):
+    workload = single_benchmark_workload(benchmark, EQUAL_PART)
+    return EqualPartSimulator(
+        workload, curves=fake_curves, sim_config=SIM, **kwargs
+    ).run()
+
+
+class TestAdmission:
+    def test_every_job_accepted(self, fake_curves):
+        result = run_equalpart("bzip2", fake_curves)
+        assert len(result.jobs) == 10
+        assert result.rejections == 0
+        assert all(j.state is JobState.COMPLETED for j in result.jobs)
+
+    def test_jobs_start_immediately_on_arrival(self, fake_curves):
+        result = run_equalpart("bzip2", fake_curves)
+        for job in result.jobs:
+            assert job.start_time == pytest.approx(job.arrival_time)
+
+
+class TestDeadlines:
+    def test_most_deadlines_missed(self, fake_curves):
+        # Figure 5(a): without admission control, jobs pile onto the
+        # CMP and timesharing blows their deadlines.
+        result = run_equalpart("bzip2", fake_curves)
+        assert result.deadline_report.considered == 10
+        assert result.deadline_report.hit_rate < 0.5
+
+    def test_qos_beats_equalpart_on_deadlines(self, fake_curves):
+        workload = single_benchmark_workload("bzip2", ALL_STRICT)
+        qos = QoSSystemSimulator(
+            workload, curves=fake_curves, sim_config=SIM
+        ).run()
+        equalpart = run_equalpart("bzip2", fake_curves)
+        assert qos.deadline_report.hit_rate == 1.0
+        assert (
+            equalpart.deadline_report.hit_rate
+            < qos.deadline_report.hit_rate
+        )
+
+
+class TestTimesharing:
+    def test_wall_clock_variation_is_high(self, fake_curves):
+        # Figure 6: EqualPart shows a high average and wide min/max.
+        result = run_equalpart("bzip2", fake_curves)
+        stats = result.wall_clock.stats_for("Strict")
+        assert stats.count == 10
+        assert stats.maximum > stats.minimum
+
+    def test_insensitive_benchmark_throughput_gain(self, fake_curves):
+        # gobmk barely cares about its 4-way slice, so EqualPart's full
+        # core utilisation beats All-Strict's two-at-a-time schedule.
+        workload = single_benchmark_workload("gobmk", ALL_STRICT)
+        qos = QoSSystemSimulator(
+            workload, curves=fake_curves, sim_config=SIM
+        ).run()
+        equalpart = run_equalpart("gobmk", fake_curves)
+        gain = equalpart.throughput.normalised_to(qos.throughput)
+        assert gain > 1.3
+
+    def test_migration_keeps_cores_busy(self, fake_curves):
+        # With 10 jobs and migration, no core idles while another
+        # queues: makespan is near total-work / num-cores.
+        result = run_equalpart("gobmk", fake_curves)
+        mpi = fake_curves["gobmk"].mpi(4)
+        cpi = 1.05 + 0.0167 * 10 + mpi * 300
+        ideal = 10 * 200e6 * cpi / 2e9 / 4
+        # Refill overhead and bus queueing make it slower than ideal,
+        # but within ~20%.
+        assert ideal <= result.makespan_seconds < ideal * 1.25
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces(self, fake_curves):
+        a = run_equalpart("hmmer", fake_curves)
+        b = run_equalpart("hmmer", fake_curves)
+        assert a.makespan_seconds == b.makespan_seconds

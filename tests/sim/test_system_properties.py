@@ -1,0 +1,149 @@
+"""Property-based tests of the QoS system simulator.
+
+Hypothesis generates random workloads (mode mixes, deadline classes,
+request sizes) and the tests assert the framework's load-bearing
+invariants hold for *every* schedule the simulator produces:
+
+- reserved jobs never miss their deadlines (the QoS guarantee);
+- cores and cache ways are never oversubscribed at any instant;
+- Elastic jobs never fall below the stealing floor;
+- every accepted job eventually completes and executes all its
+  instructions.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import ModeMixConfig
+from repro.core.job import JobState
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.sim.config import SimulationConfig
+from repro.sim.system import QoSSystemSimulator
+from repro.workloads.arrival import DeadlineClass
+from repro.workloads.composer import JobSpec, WorkloadSpec
+from repro.workloads.profiler import MissRatioCurve
+
+
+def _curve(name, h2, high, low, knee):
+    points = {}
+    for ways in range(1, 17):
+        if ways >= knee:
+            points[ways] = low
+        else:
+            t = (ways - 1) / (knee - 1)
+            points[ways] = high * (1 - t) + low * t
+    return MissRatioCurve(
+        benchmark=name, l2_accesses_per_instruction=h2, points=points
+    )
+
+
+CURVES = {
+    "bzip2": _curve("bzip2", 0.0275, 0.60, 0.18, 7),
+    "hmmer": _curve("hmmer", 0.0059, 0.40, 0.15, 3),
+    "gobmk": _curve("gobmk", 0.0167, 0.26, 0.24, 2),
+}
+
+MODES = (
+    ExecutionMode.strict(),
+    ExecutionMode.elastic(0.05),
+    ExecutionMode.elastic(0.20),
+    ExecutionMode.opportunistic(),
+)
+
+job_specs = st.builds(
+    JobSpec,
+    benchmark=st.sampled_from(sorted(CURVES)),
+    mode=st.sampled_from(MODES),
+    deadline_class=st.sampled_from(list(DeadlineClass)),
+    requested_ways=st.integers(min_value=2, max_value=9),
+)
+
+workloads = st.lists(job_specs, min_size=2, max_size=8).map(
+    lambda specs: WorkloadSpec(
+        name="random",
+        jobs=tuple(specs),
+        configuration=ModeMixConfig(name="random", strict_fraction=1.0),
+    )
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(workload=workloads, seed=st.integers(min_value=0, max_value=999))
+def test_simulator_invariants(workload, seed):
+    simulator = QoSSystemSimulator(
+        workload,
+        curves=dict(CURVES),
+        sim_config=SimulationConfig(
+            seed=seed,
+            accepted_jobs_target=len(workload.jobs),
+        ),
+        record_trace=True,
+    )
+    result = simulator.run()
+
+    # Every templated job was eventually accepted and completed fully.
+    assert len(result.jobs) == len(workload.jobs)
+    for job in result.jobs:
+        assert job.state is JobState.COMPLETED
+        assert job.executed_instructions == job.instructions
+
+    # The QoS guarantee: every reserved-mode job meets its deadline.
+    assert result.deadline_report.hit_rate == 1.0
+
+    # Resource accounting: never more ways or cores in use than exist.
+    trace = result.trace
+    for t in trace.breakpoints():
+        assert trace.ways_in_use_at(t) <= 16
+        assert trace.cores_in_use_at(t) <= 4.0 + 1e-9
+
+    # Elastic allocations respect the stealing floor while running
+    # reserved; Strict allocations never deviate from the request.
+    for job, spec in zip(result.jobs, workload.jobs):
+        history = result.per_job_ways_history[job.job_id]
+        if spec.mode.kind is ModeKind.STRICT:
+            reserved = [w for w in history if w > 0]
+            # Once pinned, a Strict job holds exactly its request.
+            assert all(
+                w == spec.requested_ways or w <= spec.requested_ways
+                for w in reserved
+            )
+        if spec.mode.kind is ModeKind.ELASTIC:
+            floors = [w for w in history if w > 0]
+            if floors:
+                assert min(floors) >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_makespan_bounded_below_by_critical_path(seed):
+    """The makespan can never beat perfect parallelism over 4 cores."""
+    specs = tuple(
+        JobSpec(
+            benchmark="gobmk",
+            mode=ExecutionMode.strict(),
+            deadline_class=DeadlineClass.RELAXED,
+            requested_ways=4,
+        )
+        for _ in range(6)
+    )
+    workload = WorkloadSpec(
+        name="bound",
+        jobs=specs,
+        configuration=ModeMixConfig(name="bound", strict_fraction=1.0),
+    )
+    sim_config = SimulationConfig(seed=seed, accepted_jobs_target=6)
+    result = QoSSystemSimulator(
+        workload, curves=dict(CURVES), sim_config=sim_config
+    ).run()
+    curve = CURVES["gobmk"]
+    from repro.workloads.benchmarks import get_benchmark
+
+    cpi = get_benchmark("gobmk").cpi_model().cpi(curve.mpi(4))
+    single_job_seconds = sim_config.instructions_per_job * cpi / 2e9
+    # Lower bound: 6 jobs / 4 cores, ignoring cache limits entirely.
+    assert result.makespan_seconds >= 6 * single_job_seconds / 4 * 0.999

@@ -1,0 +1,88 @@
+"""Tests for execution-trace recording."""
+
+import pytest
+
+from repro.core.modes import ExecutionMode
+from repro.sim.tracing import ExecutionTrace
+
+
+STRICT = ExecutionMode.strict()
+OPP = ExecutionMode.opportunistic()
+
+
+class TestSegments:
+    def test_unchanged_configuration_extends_segment(self):
+        trace = ExecutionTrace()
+        trace.update(0.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.update(5.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.finish(10.0, 1)
+        segments = trace.segments_for(1)
+        assert len(segments) == 1
+        assert segments[0].start == 0.0
+        assert segments[0].end == 10.0
+        assert segments[0].duration == 10.0
+
+    def test_configuration_change_closes_segment(self):
+        trace = ExecutionTrace()
+        trace.update(0.0, 1, mode=OPP, ways=2, core_id=2, cpu_share=0.5)
+        trace.update(4.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.finish(9.0, 1)
+        segments = trace.segments_for(1)
+        assert len(segments) == 2
+        assert segments[0].mode == OPP
+        assert segments[0].end == 4.0
+        assert segments[1].mode == STRICT
+        assert segments[1].start == 4.0
+
+    def test_zero_length_segments_dropped(self):
+        trace = ExecutionTrace()
+        trace.update(0.0, 1, mode=OPP, ways=2, core_id=0, cpu_share=1.0)
+        trace.update(0.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.finish(3.0, 1)
+        segments = trace.segments_for(1)
+        assert len(segments) == 1
+        assert segments[0].mode == STRICT
+
+    def test_finish_without_updates_is_noop(self):
+        trace = ExecutionTrace()
+        trace.finish(1.0, 99)
+        assert trace.segments_for(99) == []
+
+    def test_job_span(self):
+        trace = ExecutionTrace()
+        trace.update(1.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.update(4.0, 1, mode=STRICT, ways=6, core_id=0, cpu_share=1.0)
+        trace.finish(9.0, 1)
+        assert trace.job_span(1) == (1.0, 9.0)
+        assert trace.job_span(2) is None
+
+
+class TestResourceAudits:
+    def make_trace(self):
+        trace = ExecutionTrace()
+        # Two reserved jobs on cores 0/1, two opportunistic sharing core 2.
+        trace.update(0.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.update(0.0, 2, mode=STRICT, ways=7, core_id=1, cpu_share=1.0)
+        trace.update(0.0, 3, mode=OPP, ways=2, core_id=2, cpu_share=0.5)
+        trace.update(0.0, 4, mode=OPP, ways=2, core_id=2, cpu_share=0.5)
+        for job in (1, 2, 3, 4):
+            trace.finish(10.0, job)
+        return trace
+
+    def test_ways_in_use_counts_core_allocations_once(self):
+        trace = self.make_trace()
+        # 7 + 7 + 2 (core 2 counted once) = 16.
+        assert trace.ways_in_use_at(5.0) == 16
+
+    def test_cores_in_use_sums_shares(self):
+        trace = self.make_trace()
+        assert trace.cores_in_use_at(5.0) == pytest.approx(3.0)
+
+    def test_breakpoints(self):
+        trace = self.make_trace()
+        assert trace.breakpoints() == [0.0, 10.0]
+
+    def test_after_finish_nothing_in_use(self):
+        trace = self.make_trace()
+        assert trace.ways_in_use_at(10.0) == 0
+        assert trace.cores_in_use_at(10.0) == 0.0

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_fig5_requires_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5"])
+
+    def test_fig5_validates_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "nginx"])
+        args = build_parser().parse_args(["fig5", "Mix-1"])
+        assert args.workload == "Mix-1"
+
+    def test_fig7_default_workload(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.workload == "bzip2"
+
+    def test_curves_accepts_many(self):
+        args = build_parser().parse_args(["curves", "bzip2", "namd"])
+        assert args.benchmarks == ["bzip2", "namd"]
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_json_option(self):
+        args = build_parser().parse_args(["fig5", "bzip2", "--json", "x.json"])
+        assert args.json == "x.json"
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.nodes == 4
+        assert not args.size
+
+    def test_cluster_size_flags(self):
+        args = build_parser().parse_args(
+            ["cluster", "--size", "--target", "0.9", "--interarrival", "0.2"]
+        )
+        assert args.size
+        assert args.target == 0.9
+
+
+class TestExecution:
+    def test_list_runs(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "bzip2" in out
+        assert "Mix-1" in out
+
+    def test_fig1_runs(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "MISSED" in out
+
+    def test_curves_runs(self, capsys):
+        assert main(["curves", "namd"]) == 0
+        out = capsys.readouterr().out
+        assert "miss-ratio curve — namd" in out
+        assert "misses/instruction" in out
+
+    def test_cluster_runs(self, capsys):
+        assert main(["cluster", "--nodes", "1", "--interarrival", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "accepted" in out
+        assert "gold" in out
+
+
+class TestProfileCommand:
+    def test_profile_writes_curves(self, tmp_path, capsys):
+        out = tmp_path / "curves.json"
+        assert main(["profile", "namd", "--out", str(out)]) == 0
+        assert out.exists()
+        from repro.workloads.profiler import load_curves
+
+        assert "namd" in load_curves(out)
+
+    def test_profile_rejects_unknown(self, tmp_path, capsys):
+        assert main(["profile", "nginx", "--out", str(tmp_path / "x")]) == 2

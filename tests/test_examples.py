@@ -1,0 +1,51 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are the adoption surface; they rot silently unless executed.
+Each runs in a subprocess (fresh interpreter, fresh curve cache) and
+must exit 0 with its key output present.  Set ``REPRO_SKIP_EXAMPLES=1``
+to skip locally when iterating on something unrelated.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_SKIP_EXAMPLES") == "1",
+    reason="REPRO_SKIP_EXAMPLES=1",
+)
+
+
+def run_example(name):
+    script = EXAMPLES_DIR / name
+    assert script.exists(), script
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "deadline hit rate: 100%"),
+        ("server_consolidation.py", "placed per tier"),
+        ("resource_stealing_demo.py", "donated 5"),
+        ("mode_downgrade_demo.py", "meets its deadline"),
+        ("bandwidth_qos_demo.py", "bandwidth QoS"),
+        ("cluster_planning.py", "Placement policy"),
+        ("trace_replay.py", "replayed trace on core 0"),
+    ],
+)
+def test_example_runs(script, expected):
+    stdout = run_example(script)
+    assert expected in stdout, f"{script}: {stdout[-800:]}"

@@ -1,0 +1,98 @@
+"""Golden-result regression tests.
+
+The reproduction's headline numbers (EXPERIMENTS.md) come out of a
+fully deterministic pipeline — fixed profiling seed, fixed arrival
+seed — so they can be pinned.  These tests re-run the bzip2 column of
+Figure 5 end to end (real profiling, real simulation) and compare
+against the recorded values: any change to the synthetic calibration,
+the timing model, or the schedulers that moves a headline number shows
+up here first, with the EXPERIMENTS.md table to update alongside.
+"""
+
+import pytest
+
+from repro.analysis.runner import normalised_throughputs, run_all_configurations
+
+
+#: The EXPERIMENTS.md bzip2 column (seed 42, default configuration).
+GOLDEN_BZIP2 = {
+    "makespan_mcycles": {
+        "All-Strict": 3210.2,
+        "Hybrid-1": 2559.8,
+        "Hybrid-2": 2559.8,
+        "All-Strict+AutoDown": 2826.8,
+        "EqualPart": 2482.1,
+    },
+    "normalised_throughput": {
+        "All-Strict": 1.000,
+        "Hybrid-1": 1.254,
+        "Hybrid-2": 1.254,
+        "All-Strict+AutoDown": 1.136,
+        "EqualPart": 1.293,
+    },
+    "deadline_hit_rate": {
+        "All-Strict": 1.0,
+        "Hybrid-1": 1.0,
+        "Hybrid-2": 1.0,
+        "All-Strict+AutoDown": 1.0,
+        "EqualPart": 0.0,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def bzip2_results():
+    return run_all_configurations("bzip2")
+
+
+class TestGoldenFigure5:
+    def test_makespans(self, bzip2_results):
+        for config, expected in GOLDEN_BZIP2["makespan_mcycles"].items():
+            measured = bzip2_results[config].makespan_cycles / 1e6
+            assert measured == pytest.approx(expected, rel=0.005), config
+
+    def test_normalised_throughput(self, bzip2_results):
+        normalised = normalised_throughputs(bzip2_results)
+        for config, expected in GOLDEN_BZIP2[
+            "normalised_throughput"
+        ].items():
+            assert normalised[config] == pytest.approx(
+                expected, rel=0.005
+            ), config
+
+    def test_deadline_hit_rates(self, bzip2_results):
+        for config, expected in GOLDEN_BZIP2["deadline_hit_rate"].items():
+            assert bzip2_results[config].deadline_report.hit_rate == (
+                pytest.approx(expected, abs=0.101)
+            ), config
+
+    def test_paper_shape_relations(self, bzip2_results):
+        """The relations EXPERIMENTS.md claims, independent of exact
+        values: every optimisation beats All-Strict, Hybrid-2 tracks
+        Hybrid-1, and bzip2 is EqualPart's weakest case (its gain stays
+        in the vicinity of Hybrid-1's)."""
+        normalised = normalised_throughputs(bzip2_results)
+        assert normalised["Hybrid-1"] > 1.2
+        assert normalised["All-Strict+AutoDown"] > 1.1
+        assert normalised["Hybrid-2"] == pytest.approx(
+            normalised["Hybrid-1"], rel=0.05
+        )
+        assert 1.0 < normalised["EqualPart"] < 1.45
+
+
+class TestGoldenTable1:
+    def test_representative_statistics(self):
+        from repro.workloads.benchmarks import BENCHMARKS
+        from repro.workloads.profiler import get_curve
+
+        golden = {
+            "bzip2": (0.2333, 0.00642),
+            "hmmer": (0.1368, 0.00081),
+            "gobmk": (0.2609, 0.00436),
+        }
+        for name, (miss_rate, mpi) in golden.items():
+            curve = get_curve(BENCHMARKS[name])
+            assert curve.miss_rate(7) == pytest.approx(
+                miss_rate, abs=0.004
+            ), name
+            assert curve.mpi(7) == pytest.approx(mpi, rel=0.05), name

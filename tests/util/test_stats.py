@@ -1,0 +1,115 @@
+"""Tests for running statistics and histograms."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import Histogram, RunningStats
+
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_basic_moments(self):
+        stats = RunningStats()
+        stats.extend([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.spread == 3.0
+        assert stats.variance == pytest.approx(1.25)
+
+    def test_empty_stats(self):
+        stats = RunningStats()
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+        with pytest.raises(ValueError):
+            _ = stats.minimum
+        with pytest.raises(ValueError):
+            _ = stats.maximum
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.stddev == 0.0
+
+    @given(st.lists(finite_floats, min_size=2, max_size=200))
+    def test_matches_reference_implementation(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(
+            statistics.fmean(values), rel=1e-9, abs=1e-6
+        )
+        assert stats.variance == pytest.approx(
+            statistics.pvariance(values), rel=1e-6, abs=1e-6
+        )
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=100),
+        st.lists(finite_floats, min_size=1, max_size=100),
+    )
+    def test_merge_equals_concatenation(self, left, right):
+        a = RunningStats()
+        a.extend(left)
+        b = RunningStats()
+        b.extend(right)
+        merged = a.merge(b)
+        reference = RunningStats()
+        reference.extend(left + right)
+        assert merged.count == reference.count
+        assert merged.mean == pytest.approx(reference.mean, rel=1e-9, abs=1e-6)
+        assert merged.variance == pytest.approx(
+            reference.variance, rel=1e-6, abs=1e-6
+        )
+        assert merged.minimum == reference.minimum
+        assert merged.maximum == reference.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        a.extend([1.0, 2.0])
+        empty = RunningStats()
+        assert a.merge(empty).mean == pytest.approx(1.5)
+        assert empty.merge(a).count == 2
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        histogram = Histogram(bucket_width=10.0)
+        for value in (1, 5, 12, 25, 26):
+            histogram.add(value)
+        buckets = dict(histogram.buckets())
+        assert buckets[0.0] == 2
+        assert buckets[10.0] == 1
+        assert buckets[20.0] == 2
+        assert histogram.count == 5
+
+    def test_percentile(self):
+        histogram = Histogram(bucket_width=1.0)
+        for value in range(100):
+            histogram.add(float(value))
+        assert histogram.percentile(50) == pytest.approx(49.5, abs=1.0)
+        assert histogram.percentile(100) == pytest.approx(99.5, abs=1.0)
+
+    def test_percentile_validation(self):
+        histogram = Histogram(bucket_width=1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(50)  # empty
+        histogram.add(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(120)
+
+    def test_zero_width_rejected(self):
+        histogram = Histogram(bucket_width=0.0)
+        with pytest.raises(ValueError):
+            histogram.add(1.0)

@@ -1,0 +1,67 @@
+"""Tests for argument validation helpers."""
+
+import pytest
+
+from repro.util.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_and_returns(self):
+        assert check_positive("x", 3) == 3
+        assert check_positive("x", 0.5) == 0.5
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", value)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            check_non_negative("x", -1)
+
+
+class TestCheckFraction:
+    def test_inclusive_bounds(self):
+        assert check_fraction("x", 0.0) == 0.0
+        assert check_fraction("x", 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_fraction("x", 0.0, inclusive=False)
+        assert check_fraction("x", 0.5, inclusive=False) == 0.5
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.1)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 64, 2048])
+    def test_accepts(self, value):
+        assert check_power_of_two("x", value) == value
+
+    @pytest.mark.parametrize("value", [0, 3, 6, -4, 100])
+    def test_rejects(self, value):
+        with pytest.raises(ValueError, match="power of two"):
+            check_power_of_two("x", value)
+
+
+class TestCheckInRange:
+    def test_bounds_inclusive(self):
+        assert check_in_range("x", 1, 1, 3) == 1
+        assert check_in_range("x", 3, 1, 3) == 3
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 4, 1, 3)

@@ -1,0 +1,121 @@
+"""Tests for workload composition (Tables 2 and 3)."""
+
+import pytest
+
+from repro.core.config import (
+    ALL_STRICT,
+    EQUAL_PART,
+    HYBRID_1,
+    HYBRID_2,
+)
+from repro.core.modes import ModeKind
+from repro.workloads.composer import (
+    MIX_ROLES,
+    mixed_workload,
+    single_benchmark_workload,
+)
+
+
+class TestSingleBenchmarkWorkload:
+    def test_ten_jobs_of_one_benchmark(self):
+        workload = single_benchmark_workload("bzip2", ALL_STRICT)
+        assert workload.size == 10
+        assert workload.benchmarks_used() == ["bzip2"]
+        assert all(
+            spec.mode.kind is ModeKind.STRICT for spec in workload.jobs
+        )
+
+    def test_hybrid_modes_follow_configuration(self):
+        workload = single_benchmark_workload("hmmer", HYBRID_2)
+        kinds = [spec.mode.kind for spec in workload.jobs]
+        assert kinds.count(ModeKind.STRICT) == 4
+        assert kinds.count(ModeKind.ELASTIC) == 3
+        assert kinds.count(ModeKind.OPPORTUNISTIC) == 3
+
+    def test_deadline_classes_shared_across_configurations(self):
+        # The paper compares configurations on identical deadline draws.
+        a = single_benchmark_workload("bzip2", ALL_STRICT, seed=42)
+        b = single_benchmark_workload("bzip2", HYBRID_1, seed=42)
+        assert [s.deadline_class for s in a.jobs] == [
+            s.deadline_class for s in b.jobs
+        ]
+
+    def test_different_seed_changes_deadlines(self):
+        a = single_benchmark_workload("bzip2", ALL_STRICT, seed=1)
+        b = single_benchmark_workload("bzip2", ALL_STRICT, seed=2)
+        assert [s.deadline_class for s in a.jobs] != [
+            s.deadline_class for s in b.jobs
+        ]
+
+    def test_default_request_is_7_ways(self):
+        # Section 6: each job requests a core and 896 KB = 7 ways.
+        workload = single_benchmark_workload("gobmk", ALL_STRICT)
+        assert all(spec.requested_ways == 7 for spec in workload.jobs)
+        assert all(spec.requested_cores == 1 for spec in workload.jobs)
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            single_benchmark_workload("nginx", ALL_STRICT)
+
+
+class TestMixedWorkloads:
+    def test_mix1_roles(self):
+        # Table 3: hmmer Strict, gobmk Elastic(5%), bzip2 Opportunistic.
+        assert MIX_ROLES["Mix-1"] == (
+            ("hmmer", ModeKind.STRICT),
+            ("gobmk", ModeKind.ELASTIC),
+            ("bzip2", ModeKind.OPPORTUNISTIC),
+        )
+
+    def test_mix2_swaps_bzip2_and_gobmk(self):
+        roles = dict(MIX_ROLES["Mix-2"])
+        assert roles["bzip2"] is ModeKind.ELASTIC
+        assert roles["gobmk"] is ModeKind.OPPORTUNISTIC
+
+    def test_mix1_under_hybrid2(self):
+        workload = mixed_workload("Mix-1", HYBRID_2)
+        by_benchmark = {}
+        for spec in workload.jobs:
+            by_benchmark.setdefault(spec.benchmark, set()).add(
+                spec.mode.kind
+            )
+        assert by_benchmark["hmmer"] == {ModeKind.STRICT}
+        assert by_benchmark["gobmk"] == {ModeKind.ELASTIC}
+        assert by_benchmark["bzip2"] == {ModeKind.OPPORTUNISTIC}
+
+    def test_elastic_slack_comes_from_configuration(self):
+        workload = mixed_workload("Mix-1", HYBRID_2)
+        elastic = [
+            s for s in workload.jobs if s.mode.kind is ModeKind.ELASTIC
+        ]
+        assert all(s.mode.slack == pytest.approx(0.05) for s in elastic)
+
+    def test_roles_fall_back_under_hybrid1(self):
+        # Hybrid-1 has no Elastic mode: the donor role runs Strict.
+        workload = mixed_workload("Mix-1", HYBRID_1)
+        kinds = {
+            spec.benchmark: spec.mode.kind for spec in workload.jobs
+        }
+        assert kinds["gobmk"] is ModeKind.STRICT
+        assert kinds["bzip2"] is ModeKind.OPPORTUNISTIC
+
+    def test_all_strict_forces_everything_strict(self):
+        workload = mixed_workload("Mix-2", ALL_STRICT)
+        assert all(
+            s.mode.kind is ModeKind.STRICT for s in workload.jobs
+        )
+
+    def test_equalpart_mixed(self):
+        workload = mixed_workload("Mix-1", EQUAL_PART)
+        assert all(
+            s.mode.kind is ModeKind.STRICT for s in workload.jobs
+        )
+
+    def test_benchmarks_cycle(self):
+        workload = mixed_workload("Mix-1", HYBRID_2, count=9)
+        names = [s.benchmark for s in workload.jobs]
+        assert names == ["hmmer", "gobmk", "bzip2"] * 3
+
+    def test_unknown_mix_rejected(self):
+        with pytest.raises(ValueError, match="unknown mix"):
+            mixed_workload("Mix-3", HYBRID_2)

@@ -1,0 +1,100 @@
+"""Tests for the mixture trace generator."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng
+from repro.workloads.generator import MixtureComponent, TraceGenerator
+from repro.workloads.patterns import LoopPattern, StreamingPattern, ZipfPattern
+
+
+def make_generator(write_fraction=0.2):
+    return TraceGenerator(
+        [
+            MixtureComponent(LoopPattern(2.0), 0.5),
+            MixtureComponent(ZipfPattern(1.0), 0.3),
+            MixtureComponent(StreamingPattern(8.0), 0.2),
+        ],
+        write_fraction=write_fraction,
+    )
+
+
+def bind(generator, *, num_sets=8, seed=1, base=0):
+    generator.bind(
+        num_sets=num_sets,
+        block_bytes=64,
+        rng=DeterministicRng(seed, "test"),
+        base_address=base,
+    )
+    return generator
+
+
+class TestConstruction:
+    def test_needs_components(self):
+        with pytest.raises(ValueError):
+            TraceGenerator([])
+
+    def test_write_fraction_validated(self):
+        with pytest.raises(ValueError):
+            TraceGenerator(
+                [MixtureComponent(LoopPattern(1.0), 1.0)], write_fraction=1.5
+            )
+
+    def test_component_weight_positive(self):
+        with pytest.raises(ValueError):
+            MixtureComponent(LoopPattern(1.0), 0.0)
+
+    def test_footprint_sums_components(self):
+        assert make_generator().footprint_ways == pytest.approx(11.0)
+
+
+class TestGeneration:
+    def test_unbound_generator_rejects(self):
+        with pytest.raises(RuntimeError):
+            list(make_generator().accesses(1))
+
+    def test_generates_requested_count(self):
+        generator = bind(make_generator())
+        assert len(list(generator.accesses(100))) == 100
+
+    def test_deterministic_given_seed(self):
+        a = bind(make_generator(), seed=3)
+        b = bind(make_generator(), seed=3)
+        assert list(a.address_stream(200)) == list(b.address_stream(200))
+
+    def test_write_fraction_approximated(self):
+        generator = bind(make_generator(write_fraction=0.3))
+        writes = sum(
+            1 for access in generator.accesses(3000) if access.is_write
+        )
+        assert 0.2 < writes / 3000 < 0.4
+
+    def test_zero_write_fraction(self):
+        generator = bind(make_generator(write_fraction=0.0))
+        assert not any(a.is_write for a in generator.accesses(500))
+
+
+class TestRegionIsolation:
+    def test_components_never_share_addresses(self):
+        generator = bind(make_generator())
+        regions = []
+        for component in generator.components:
+            base = component.pattern.region_base
+            regions.append((base, base + component.pattern.region_bytes()))
+        regions.sort()
+        for (s1, e1), (s2, e2) in zip(regions, regions[1:]):
+            assert e1 <= s2
+
+    def test_two_jobs_with_different_bases_do_not_collide(self):
+        a = bind(make_generator(), base=0)
+        b = bind(make_generator(), base=1 << 32)
+        addresses_a = {access.address for access in a.accesses(500)}
+        addresses_b = {access.address for access in b.accesses(500)}
+        assert not addresses_a & addresses_b
+
+    def test_single_component_fast_path(self):
+        generator = TraceGenerator(
+            [MixtureComponent(LoopPattern(1.0), 1.0)]
+        )
+        bind(generator, num_sets=4)
+        addresses = [a.address for a in generator.accesses(8)]
+        assert addresses[:4] == addresses[4:]

@@ -1,0 +1,117 @@
+"""Tests for the phased access pattern."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng
+from repro.workloads.patterns import (
+    LoopPattern,
+    PhasedPattern,
+    StreamingPattern,
+    ZipfPattern,
+)
+
+
+def bind(pattern, *, num_sets=8, seed=1):
+    pattern.bind(
+        num_sets=num_sets,
+        block_bytes=64,
+        region_base=0,
+        rng=DeterministicRng(seed, "test"),
+    )
+    return pattern
+
+
+class TestConstruction:
+    def test_needs_phases(self):
+        with pytest.raises(ValueError):
+            PhasedPattern([])
+
+    def test_phase_length_positive(self):
+        with pytest.raises(ValueError):
+            PhasedPattern([LoopPattern(1.0)], phase_length=0)
+
+    def test_footprint_is_max_of_phases(self):
+        pattern = PhasedPattern([LoopPattern(2.0), LoopPattern(5.0)])
+        assert pattern.footprint_ways == 5.0
+
+
+class TestPhasing:
+    def test_switches_after_phase_length(self):
+        pattern = bind(
+            PhasedPattern(
+                [LoopPattern(1.0), StreamingPattern(4.0)], phase_length=10
+            )
+        )
+        assert pattern.current_phase == 0
+        for _ in range(10):
+            pattern.next_address()
+        assert pattern.current_phase == 0  # switch happens lazily
+        pattern.next_address()
+        assert pattern.current_phase == 1
+
+    def test_cycles_back_to_first_phase(self):
+        pattern = bind(
+            PhasedPattern(
+                [LoopPattern(1.0), LoopPattern(2.0)], phase_length=4
+            )
+        )
+        for _ in range(9):
+            pattern.next_address()
+        assert pattern.current_phase == 0
+
+    def test_phases_share_the_region(self):
+        pattern = bind(
+            PhasedPattern(
+                [LoopPattern(1.0), ZipfPattern(2.0)], phase_length=8
+            ),
+            num_sets=4,
+        )
+        limit = pattern.region_bytes()
+        for _ in range(64):
+            assert 0 <= pattern.next_address() < limit
+
+    def test_single_phase_degenerates_to_that_pattern(self):
+        loop = LoopPattern(1.0)
+        phased = bind(PhasedPattern([loop], phase_length=3), num_sets=4)
+        reference = bind(LoopPattern(1.0), num_sets=4)
+        observed = [phased.next_address() for _ in range(12)]
+        expected = [reference.next_address() for _ in range(12)]
+        assert observed == expected
+
+    def test_deterministic(self):
+        def make():
+            return bind(
+                PhasedPattern(
+                    [ZipfPattern(2.0), StreamingPattern(8.0)],
+                    phase_length=16,
+                ),
+                seed=9,
+            )
+
+        a, b = make(), make()
+        assert [a.next_address() for _ in range(100)] == [
+            b.next_address() for _ in range(100)
+        ]
+
+
+class TestPhaseChangeStressesCache:
+    def test_alternating_phases_defeat_small_cache(self):
+        """A loop that fits alternating with a stream: the stream phase
+        evicts the loop, so the loop phase re-misses on re-entry —
+        the behaviour that forces stealing cancellations."""
+        from repro.cache.basic import SetAssociativeCache
+        from repro.cache.geometry import CacheGeometry
+
+        pattern = bind(
+            PhasedPattern(
+                [LoopPattern(1.0), StreamingPattern(16.0)],
+                phase_length=64,
+            ),
+            num_sets=8,
+        )
+        cache = SetAssociativeCache(CacheGeometry.from_sets(8, 2, 64))
+        for _ in range(4096):
+            cache.access(pattern.next_address())
+        # The loop alone would converge to ~0 misses; phase churn keeps
+        # the miss rate high.
+        assert cache.stats.miss_rate > 0.5
