@@ -15,6 +15,10 @@ The public API re-exports the pieces a downstream user composes:
   :func:`single_benchmark_workload`, :func:`mixed_workload`,
   :class:`QoSSystemSimulator`, :class:`EqualPartSimulator`,
   :func:`run_all_configurations`.
+- Fault injection & resilience: :class:`FaultConfig`,
+  :class:`FaultSchedule`, :class:`RetryPolicy`,
+  :class:`InvariantChecker`, :func:`checkpoint_simulator`,
+  :func:`resume_simulator`, :class:`ResilienceReport`.
 
 See ``examples/quickstart.py`` for the canonical end-to-end usage.
 """
@@ -41,7 +45,12 @@ from repro.core.cluster import ClusterJobProfile, ClusterSimulator, size_cluster
 from repro.core.gac import GlobalAdmissionController
 from repro.core.ipc_manager import IpcManagedJob, IpcTargetManager
 from repro.core.job import Job, JobState
-from repro.core.metrics import DeadlineReport, ThroughputReport
+from repro.core.metrics import (
+    DeadlineReport,
+    DowngradeRecord,
+    ResilienceReport,
+    ThroughputReport,
+)
 from repro.core.modes import ExecutionMode, ModeKind
 from repro.core.partition_manager import PartitionManager
 from repro.core.spec import (
@@ -54,8 +63,23 @@ from repro.core.spec import (
 )
 from repro.core.stealing import ResourceStealingController
 from repro.cpu.cpi import CpiModel
+from repro.faults import (
+    FaultConfig,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    InvariantChecker,
+    InvariantViolation,
+    RetryPolicy,
+    SimulationCheckpoint,
+    checkpoint_simulator,
+    load_checkpoint,
+    resume_simulator,
+    save_checkpoint,
+)
 from repro.sim.cmp import CmpNode
 from repro.sim.config import MachineConfig, SimulationConfig
+from repro.sim.engine import RunBudget
 from repro.sim.equalpart import EqualPartSimulator
 from repro.sim.system import QoSSystemSimulator, SystemResult
 from repro.workloads.benchmarks import BENCHMARKS, REPRESENTATIVES, get_benchmark
@@ -131,4 +155,20 @@ __all__ = [
     "normalised_throughputs",
     "DeadlineReport",
     "ThroughputReport",
+    # faults & resilience
+    "FaultConfig",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "RetryPolicy",
+    "InvariantChecker",
+    "InvariantViolation",
+    "SimulationCheckpoint",
+    "checkpoint_simulator",
+    "save_checkpoint",
+    "load_checkpoint",
+    "resume_simulator",
+    "RunBudget",
+    "ResilienceReport",
+    "DowngradeRecord",
 ]

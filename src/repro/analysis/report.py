@@ -72,11 +72,22 @@ def wall_clock_table(result: SystemResult, *, title: str) -> str:
 
 
 def trace_table(result: SystemResult, *, title: str) -> str:
-    """Figure 7: per-job execution spans, deadlines, and downgrades."""
+    """Figure 7: per-job execution spans, deadlines, and downgrades.
+
+    The ``fault downgrades`` column counts the rungs a job was pushed
+    down the recovery ladder by fault injection (distinct from the
+    voluntary AutoDown of Section 3.4, shown in the mode column).
+    """
+    resilience = result.resilience
     rows = []
     for job in result.jobs:
         span = result.trace.job_span(job.job_id)
         start, end = (span if span else (None, None))
+        fault_downgrades = (
+            len(resilience.downgrades_for(job.job_id))
+            if resilience is not None
+            else 0
+        )
         rows.append(
             [
                 job.job_id,
@@ -88,6 +99,7 @@ def trace_table(result: SystemResult, *, title: str) -> str:
                 None
                 if job.switch_back_time is None
                 else job.switch_back_time * 1e3,
+                fault_downgrades,
                 "yes" if job.met_deadline else "no",
             ]
         )
@@ -99,11 +111,51 @@ def trace_table(result: SystemResult, *, title: str) -> str:
             "end (ms)",
             "deadline (ms)",
             "switch-back (ms)",
+            "fault downgrades",
             "met deadline",
         ],
         rows,
         title=title,
     )
+
+
+def resilience_table(result: SystemResult, *, title: str) -> str:
+    """Fault-injection outcome summary for one simulation.
+
+    Raises if the run had no fault config at all; an all-zero config
+    renders a table of zeros, which is itself evidence the fault layer
+    stayed inert.
+    """
+    resilience = result.resilience
+    if resilience is None:
+        raise ValueError(
+            "result has no resilience report; run with a FaultConfig"
+        )
+    rows = [
+        ["faults injected", resilience.faults_injected],
+        ["jobs displaced by core faults", resilience.displacements],
+        ["successful re-admissions", resilience.readmissions],
+        ["re-admission attempts", resilience.readmission_attempts],
+        ["mode downgrades (ladder rungs)", resilience.downgrade_count],
+        ["jobs degraded to best-effort", resilience.best_effort_jobs],
+        ["dispatches deferred by failures", resilience.deferred_dispatches],
+        ["stealing cancelled by ECC", resilience.ecc_cancellations],
+        ["invariant checks passed", resilience.invariant_checks],
+    ]
+    for kind in sorted(resilience.fault_counts):
+        rows.append([f"  of which {kind}", resilience.fault_counts[kind]])
+    return format_table(["event", "count"], rows, title=title)
+
+
+def downgrade_ladder_lines(result: SystemResult) -> List[str]:
+    """One line per fault-recovery downgrade, in time order."""
+    if result.resilience is None:
+        return []
+    return [
+        f"t={record.time * 1e3:9.3f} ms  job {record.job_id}: "
+        f"{record.from_mode} -> {record.to_mode}  ({record.reason})"
+        for record in result.resilience.downgrades
+    ]
 
 
 def sensitivity_table(

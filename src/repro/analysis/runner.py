@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.core.config import CONFIGURATIONS, ModeMixConfig
+from repro.faults.model import FaultConfig
 from repro.sim.config import MachineConfig, SimulationConfig
 from repro.sim.equalpart import EqualPartSimulator
 from repro.sim.system import QoSSystemSimulator, SystemResult
@@ -30,9 +31,21 @@ def run_configuration(
     sim_config: Optional[SimulationConfig] = None,
     curves: Optional[Dict[str, MissRatioCurve]] = None,
     record_trace: bool = True,
+    fault_config: Optional[FaultConfig] = None,
 ) -> SystemResult:
-    """Run one workload under its embedded configuration."""
+    """Run one workload under its embedded configuration.
+
+    ``fault_config`` arms the fault-injection layer; it only makes
+    sense for the QoS simulator (EqualPart has no admission control to
+    degrade gracefully, so combining the two is rejected).
+    """
     if workload.configuration.equal_partition:
+        if fault_config is not None:
+            raise ValueError(
+                "fault injection requires the QoS simulator; "
+                f"configuration {workload.configuration.name!r} uses "
+                "equal partitioning"
+            )
         simulator: object = EqualPartSimulator(
             workload,
             machine=machine,
@@ -47,6 +60,7 @@ def run_configuration(
             sim_config=sim_config,
             curves=curves,
             record_trace=record_trace,
+            fault_config=fault_config,
         )
     return simulator.run()  # type: ignore[union-attr]
 

@@ -66,6 +66,9 @@ class ShadowTagArray:
         self.sampled_accesses = 0
         self.shadow_misses = 0
         self.main_misses = 0
+        # Lifetime count of ECC upsets injected into this array; not a
+        # per-job statistic, so :meth:`reset` leaves it alone.
+        self.ecc_errors = 0
 
     @property
     def num_sampled_sets(self) -> int:
@@ -104,6 +107,28 @@ class ShadowTagArray:
         if len(tags) > self.baseline_ways:
             tags.pop()
         return False
+
+    # -- fault injection -------------------------------------------------------
+
+    def inject_ecc_error(self) -> None:
+        """Model an uncorrectable ECC upset in the duplicate tags.
+
+        The duplicate array is bookkeeping, not architectural state, so
+        nothing is lost except trust: the shadow's contents and its
+        accumulated miss comparison can no longer stand in for the
+        unstolen baseline.  The array discards its tags and counters and
+        begins a fresh observation; the *caller* (the stealing
+        controller via
+        :meth:`~repro.core.stealing.ResourceStealingController.on_ecc_error`)
+        must react conservatively, since the job may already have been
+        slowed beyond its slack without the evidence to show it.
+        """
+        self.ecc_errors += 1
+        for tags in self._tags.values():
+            tags.clear()
+        self.sampled_accesses = 0
+        self.shadow_misses = 0
+        self.main_misses = 0
 
     # -- the stealing criterion ----------------------------------------------
 

@@ -25,6 +25,8 @@ from repro.analysis.export import results_to_dict, write_json
 from repro.analysis.gantt import render_gantt
 from repro.analysis.report import (
     deadline_table,
+    downgrade_ladder_lines,
+    resilience_table,
     sensitivity_table,
     throughput_table,
     trace_table,
@@ -32,8 +34,19 @@ from repro.analysis.report import (
 )
 from repro.analysis.runner import run_all_configurations
 from repro.analysis.sensitivity import sensitivity_points
+from repro.core.config import CONFIGURATIONS
+from repro.faults import (
+    FaultConfig,
+    checkpoint_simulator,
+    load_checkpoint,
+    resume_simulator,
+    save_checkpoint,
+)
+from repro.sim.engine import RunBudget
+from repro.sim.system import QoSSystemSimulator
 from repro.util.tables import format_table
 from repro.workloads.benchmarks import BENCHMARKS, get_benchmark
+from repro.workloads.composer import mixed_workload, single_benchmark_workload
 from repro.core.cluster import ClusterJobProfile, ClusterSimulator, size_cluster
 from repro.core.spec import PRESET_TARGETS
 from repro.workloads.profiler import get_curve, load_curves, save_curves
@@ -46,7 +59,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
     print("mixes: Mix-1, Mix-2")
     print(
         "commands: fig1, fig4, fig5 <workload>, fig6 <workload>, "
-        "fig7 [workload], curves <benchmarks...>"
+        "fig7 [workload], curves <benchmarks...>, faults [workload]"
     )
     return 0
 
@@ -153,6 +166,66 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Run a workload under fault injection and print the resilience report."""
+    if args.resume:
+        checkpoint = load_checkpoint(args.resume)
+        print(f"resumed: {checkpoint.describe()}", file=sys.stderr)
+        simulator = resume_simulator(checkpoint)
+    else:
+        configuration = CONFIGURATIONS[args.config]
+        if configuration.equal_partition:
+            print(
+                "fault injection requires the QoS simulator; pick a "
+                "non-EqualPart --config",
+                file=sys.stderr,
+            )
+            return 2
+        if args.workload in ("Mix-1", "Mix-2"):
+            workload = mixed_workload(args.workload, configuration)
+        else:
+            workload = single_benchmark_workload(args.workload, configuration)
+        fault_config = FaultConfig(
+            seed=args.fault_seed,
+            core_failure_rate=args.core_rate,
+            core_stall_rate=args.stall_rate,
+            bandwidth_degradation_rate=args.bandwidth_rate,
+            ecc_error_rate=args.ecc_rate,
+        )
+        simulator = QoSSystemSimulator(workload, fault_config=fault_config)
+
+    budget = None
+    if args.max_events is not None or args.max_seconds is not None:
+        budget = RunBudget(
+            max_events=args.max_events, max_wall_seconds=args.max_seconds
+        )
+    result = simulator.run(budget=budget)
+
+    if result.partial:
+        print(
+            f"run aborted early ({result.abort_reason}); partial report",
+            file=sys.stderr,
+        )
+        if args.checkpoint:
+            path = save_checkpoint(
+                checkpoint_simulator(simulator), args.checkpoint
+            )
+            print(f"checkpoint written to {path}", file=sys.stderr)
+    name = args.config if not args.resume else "resumed run"
+    if result.resilience is not None:
+        print(resilience_table(result, title=f"Fault injection — {name}"))
+        ladder = downgrade_ladder_lines(result)
+        if ladder:
+            print("\ndowngrade ladder:")
+            for line in ladder:
+                print(f"  {line}")
+        if result.fault_timeline_digest:
+            print(f"\nfault timeline digest: {result.fault_timeline_digest}")
+    print()
+    print(trace_table(result, title="job details"))
+    return 0
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     """Capacity-plan a CMP server for a gold/silver mix (Figure 2)."""
     profiles = [
@@ -244,6 +317,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     profile.add_argument("--out", default="curves.json")
 
+    faults = commands.add_parser(
+        "faults", help="fault-injection run with a resilience report"
+    )
+    faults.add_argument(
+        "workload", nargs="?", default="bzip2", choices=WORKLOAD_CHOICES
+    )
+    faults.add_argument(
+        "--config", default="All-Strict",
+        choices=[
+            name
+            for name, config in CONFIGURATIONS.items()
+            if not config.equal_partition
+        ],
+        help="Table 2 configuration to run under",
+    )
+    faults.add_argument(
+        "--fault-seed", type=int, default=7,
+        help="seed for the deterministic fault schedule",
+    )
+    faults.add_argument(
+        "--core-rate", type=float, default=4.0,
+        help="core failures per simulated second",
+    )
+    faults.add_argument(
+        "--stall-rate", type=float, default=0.0,
+        help="transient core stalls per simulated second",
+    )
+    faults.add_argument(
+        "--bandwidth-rate", type=float, default=0.0,
+        help="bandwidth brown-outs per simulated second",
+    )
+    faults.add_argument(
+        "--ecc-rate", type=float, default=0.0,
+        help="duplicate-tag ECC errors per simulated second",
+    )
+    faults.add_argument(
+        "--max-events", type=int, default=None,
+        help="abort gracefully after this many events",
+    )
+    faults.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="abort gracefully after this much wall-clock time",
+    )
+    faults.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write a resumable checkpoint here if the run aborts early",
+    )
+    faults.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint",
+    )
+
     cluster = commands.add_parser(
         "cluster", help="capacity-plan a multi-node server (Figure 2)"
     )
@@ -268,6 +393,7 @@ HANDLERS = {
     "fig6": _cmd_fig6,
     "fig7": _cmd_fig7,
     "curves": _cmd_curves,
+    "faults": _cmd_faults,
     "cluster": _cmd_cluster,
     "profile": _cmd_profile,
 }

@@ -288,6 +288,39 @@ class LocalAdmissionController:
         self.stats.acceptances += 1
         return AdmissionDecision(True, "timeslot reserved", reservation)
 
+    def reserve_window(
+        self,
+        job_id: int,
+        resources: ResourceVector,
+        duration: float,
+        *,
+        not_before: float,
+        latest_end: float = math.inf,
+    ) -> Optional[Reservation]:
+        """Re-admission test for an already-accepted, displaced job.
+
+        The fault-recovery path (:mod:`repro.faults`): a job whose core
+        failed lost its reservation and must book a fresh timeslot for
+        its *remaining* work.  This runs the same earliest-fit search as
+        :meth:`admit` but takes the resource vector and duration
+        directly — the job object's original timeslot describes the full
+        job, not the remainder.  Returns the booked reservation, or
+        ``None`` when no window fits before ``latest_end`` (the caller
+        then retries with backoff or downgrades the job's mode).
+        """
+        self.stats.admission_tests += 1
+        if not resources.fits_within(self.capacity):
+            self.stats.rejections += 1
+            return None
+        start = self.earliest_fit(
+            resources, duration, not_before=not_before, latest_end=latest_end
+        )
+        if start is None:
+            self.stats.rejections += 1
+            return None
+        self.stats.acceptances += 1
+        return self._reserve(job_id, start, start + duration, resources)
+
     def _lifetime_fit(
         self, request: ResourceVector, now: float
     ) -> Optional[float]:

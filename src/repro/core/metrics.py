@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.core.admission import LacStatistics
 from repro.core.job import Job, JobState
@@ -170,6 +170,57 @@ class WallClockSummary:
                 f"no jobs recorded for mode {mode_key!r}; have "
                 f"{self.modes()}"
             ) from None
+
+
+@dataclass(frozen=True)
+class DowngradeRecord:
+    """One rung-by-rung mode downgrade taken during fault recovery.
+
+    Modes are recorded as their ``describe()`` strings so the record
+    stays a plain serialisable value; ``to_mode`` is ``"best-effort"``
+    when the job fell off the bottom of the ladder and surrendered its
+    guarantee entirely.
+    """
+
+    time: float
+    job_id: int
+    from_mode: str
+    to_mode: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """What the fault-injection layer did to one simulation.
+
+    Produced by the system simulator whenever a
+    :class:`~repro.faults.model.FaultConfig` was supplied (even an
+    all-zero one, so tests can assert the zero-fault case is truly
+    empty).  Fault kinds are keyed by their string values to keep this
+    module free of a dependency on :mod:`repro.faults`.
+    """
+
+    faults_injected: int
+    fault_counts: Dict[str, int]
+    downgrades: Tuple[DowngradeRecord, ...]
+    displacements: int
+    readmissions: int
+    readmission_attempts: int
+    deferred_dispatches: int
+    best_effort_jobs: int
+    ecc_cancellations: int
+    invariant_checks: int
+
+    @property
+    def downgrade_count(self) -> int:
+        """Total downgrade rungs taken across all jobs."""
+        return len(self.downgrades)
+
+    def downgrades_for(self, job_id: int) -> Tuple[DowngradeRecord, ...]:
+        """The downgrade sequence one job walked, in time order."""
+        return tuple(
+            record for record in self.downgrades if record.job_id == job_id
+        )
 
 
 @dataclass

@@ -110,6 +110,7 @@ class ResourceStealingController:
         self._current_ways = baseline_ways
         self.intervals_run = 0
         self.cancellations = 0
+        self.ecc_cancellations = 0
 
     # -- inspection -------------------------------------------------------------
 
@@ -190,6 +191,30 @@ class ResourceStealingController:
             StealingAction.STEAL_ONE,
             increase,
             f"stole one way ({self._current_ways} remain)",
+        )
+
+    def on_ecc_error(self) -> StealingDecision:
+        """React to an ECC upset in the duplicate tag array.
+
+        With the shadow corrupted there is no trustworthy bound on how
+        much the Elastic job has already been slowed, so the only safe
+        move is the cancel path of Section 4.3: return every stolen way
+        immediately.  The caller applies the returned allocation exactly
+        as for a slack-triggered cancel.  If ``resume_after_cancel`` is
+        set, the controller re-arms once the (reset) shadow rebuilds a
+        trustworthy low-increase observation.
+        """
+        self.ecc_cancellations += 1
+        returned = self.stolen_ways
+        self._current_ways = self.baseline_ways
+        if self.state is not StealingState.CANCELLED:
+            self.state = StealingState.CANCELLED
+            self.cancellations += 1
+        return self._decision(
+            StealingAction.CANCEL,
+            0.0,
+            f"ECC error in duplicate tags; {returned} stolen way(s) "
+            "conservatively returned",
         )
 
     def _decision(

@@ -13,7 +13,11 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.cpu.hierarchy import MemoryHierarchy, ServiceLevel
-from repro.util.validation import check_positive
+from repro.util.validation import check_non_negative, check_positive
+
+
+class CoreFaultError(RuntimeError):
+    """A trace was driven at a core that is currently failed."""
 
 
 @dataclass(frozen=True)
@@ -88,6 +92,36 @@ class InOrderCore:
         self.cpi_l1_inf = cpi_l1_inf
         self.instructions_per_access = instructions_per_access
         self.result = CoreResult()
+        # Fault state: a failed core refuses work until repaired; an
+        # injected stall burns cycles without retiring instructions.
+        self.failed = False
+        self.stall_cycles_injected = 0.0
+
+    # -- fault injection --------------------------------------------------------
+
+    def fail(self) -> None:
+        """Take the core offline; :meth:`execute` raises until repaired."""
+        self.failed = True
+
+    def repair(self) -> None:
+        """Bring a failed core back online."""
+        self.failed = False
+
+    def inject_stall(self, cycles: float) -> None:
+        """Burn ``cycles`` on this core without retiring instructions.
+
+        Models a transient stall (e.g. a machine-check recovery or
+        thermal throttle): the wall clock advances, IPC drops, and the
+        injected cycles are tracked separately so reports can attribute
+        the slowdown to the fault rather than the workload.
+        """
+        check_non_negative("cycles", cycles)
+        if self.failed:
+            raise CoreFaultError(
+                f"core {self.core_id} is failed; repair it before stalling"
+            )
+        self.result.cycles += cycles
+        self.stall_cycles_injected += cycles
 
     def execute(
         self,
@@ -100,7 +134,13 @@ class InOrderCore:
         The method may be called repeatedly; results accumulate, which
         lets the simulator interleave execution quanta from different
         jobs on a timeshared core.
+
+        Raises :class:`CoreFaultError` if the core is currently failed.
         """
+        if self.failed:
+            raise CoreFaultError(
+                f"core {self.core_id} is failed and cannot execute"
+            )
         for access in trace:
             if max_accesses is not None and max_accesses <= 0:
                 break
@@ -127,5 +167,10 @@ class InOrderCore:
             self.result.l2_misses += 1
 
     def reset(self) -> None:
-        """Zero the accumulated result (new job on this core)."""
+        """Zero the accumulated result (new job on this core).
+
+        Fault state is hardware, not job state: a failed core stays
+        failed across job swaps until :meth:`repair` is called.
+        """
         self.result = CoreResult()
+        self.stall_cycles_injected = 0.0

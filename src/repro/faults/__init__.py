@@ -1,0 +1,65 @@
+"""Fault injection and graceful degradation for the QoS simulator.
+
+The package splits cleanly into mechanism and policy:
+
+- :mod:`~repro.faults.model` — *what and when*: deterministic, seeded
+  fault timelines (:class:`FaultSchedule`, :class:`FaultConfig`);
+- :mod:`~repro.faults.injector` — *delivery*: arming a timeline onto a
+  running simulator's event queue;
+- :mod:`~repro.faults.resilience` — *recovery policy*: the
+  strict → elastic → opportunistic → best-effort downgrade ladder and
+  bounded-backoff re-admission (:class:`RetryPolicy`);
+- :mod:`~repro.faults.invariants` — *safety net*: periodic
+  conservation-law assertions (:class:`InvariantChecker`);
+- :mod:`~repro.faults.checkpoint` — *durability*: deterministic-replay
+  checkpoint/resume of long (possibly faulted) simulations.
+"""
+
+from repro.faults.checkpoint import (
+    CHECKPOINT_VERSION,
+    SimulationCheckpoint,
+    checkpoint_simulator,
+    load_checkpoint,
+    resume_simulator,
+    save_checkpoint,
+)
+from repro.faults.injector import SystemFaultInjector
+from repro.faults.invariants import InvariantChecker, InvariantViolation
+from repro.faults.model import (
+    FaultConfig,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
+from repro.faults.resilience import (
+    LADDER,
+    DegradationStage,
+    RetryPolicy,
+    downgrade_mode,
+    mode_for_stage,
+    next_stage,
+    stage_for_mode,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "DegradationStage",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSchedule",
+    "InvariantChecker",
+    "InvariantViolation",
+    "LADDER",
+    "RetryPolicy",
+    "SimulationCheckpoint",
+    "SystemFaultInjector",
+    "checkpoint_simulator",
+    "downgrade_mode",
+    "load_checkpoint",
+    "mode_for_stage",
+    "next_stage",
+    "resume_simulator",
+    "save_checkpoint",
+    "stage_for_mode",
+]

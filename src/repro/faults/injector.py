@@ -1,0 +1,67 @@
+"""Wiring a :class:`FaultSchedule` into the running system simulator.
+
+The injector is deliberately thin: it schedules one engine event per
+fault and dispatches each to the simulator's resilience hooks
+(``fail_core``, ``stall_core``, ``degrade_bandwidth``,
+``inject_ecc_error``).  All recovery *policy* — displacement,
+re-admission, the mode ladder — lives in
+:mod:`repro.sim.system`; all fault *timing* lives in
+:mod:`repro.faults.model`.  Keeping the glue separate means a test can
+hand the simulator a hand-written schedule of one surgical fault and
+assert the exact recovery sequence.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.faults.model import FaultEvent, FaultKind, FaultSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.system import QoSSystemSimulator
+
+
+class SystemFaultInjector:
+    """Schedules a fault timeline onto a system simulator's event queue."""
+
+    def __init__(
+        self, simulator: "QoSSystemSimulator", schedule: FaultSchedule
+    ) -> None:
+        self.simulator = simulator
+        self.schedule = schedule
+        self.injected = 0
+        self.armed = False
+
+    def arm(self) -> None:
+        """Schedule every fault event (idempotent; call before running)."""
+        if self.armed:
+            return
+        self.armed = True
+        for event in self.schedule:
+            self.simulator.events.schedule(
+                event.time, self._make_handler(event)
+            )
+
+    def _make_handler(self, event: FaultEvent):
+        def fire(now: float) -> None:
+            simulator = self.simulator
+            if simulator.finished:
+                return
+            self.injected += 1
+            simulator.record_fault(event, now)
+            if event.kind is FaultKind.CORE_FAILURE:
+                simulator.fail_core(
+                    event.target, duration=event.duration, now=now
+                )
+            elif event.kind is FaultKind.CORE_STALL:
+                simulator.stall_core(
+                    event.target, duration=event.duration, now=now
+                )
+            elif event.kind is FaultKind.BANDWIDTH_DEGRADATION:
+                simulator.degrade_bandwidth(
+                    event.magnitude, duration=event.duration, now=now
+                )
+            elif event.kind is FaultKind.ECC_TAG_ERROR:
+                simulator.inject_ecc_error(event.target, now=now)
+
+        return fire

@@ -1,0 +1,125 @@
+"""Graceful-degradation policy: retry with backoff, downgrade the mode.
+
+When a core failure displaces a reserved job, the system does not give
+up on it — it walks the paper's own execution-mode ladder (Sections
+3.3–3.4) one rung at a time, re-probing the Local Admission Controller
+between rungs:
+
+    Strict → Elastic(X) → Opportunistic → best-effort
+
+Each re-admission attempt waits an exponentially-backed-off delay (the
+LAC timeline right after a fault is exactly where it was when admission
+failed; retrying immediately is wasted work), and after ``max_retries``
+failed attempts at reserved rungs the job drops to Opportunistic
+execution.  The terminal *best-effort* stage is Opportunistic execution
+with no further recovery attempts: the job runs on whatever is spare
+and its deadline promise is formally surrendered — degraded, but never
+silently lost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class DegradationStage(enum.Enum):
+    """Rungs of the fault-recovery ladder, most- to least-guaranteed."""
+
+    STRICT = "strict"
+    ELASTIC = "elastic"
+    OPPORTUNISTIC = "opportunistic"
+    BEST_EFFORT = "best-effort"
+
+
+#: Ladder order used by :func:`next_stage`.
+LADDER = (
+    DegradationStage.STRICT,
+    DegradationStage.ELASTIC,
+    DegradationStage.OPPORTUNISTIC,
+    DegradationStage.BEST_EFFORT,
+)
+
+
+def stage_for_mode(mode: ExecutionMode) -> DegradationStage:
+    """The ladder rung a job currently executing in ``mode`` occupies."""
+    if mode.kind is ModeKind.STRICT:
+        return DegradationStage.STRICT
+    if mode.kind is ModeKind.ELASTIC:
+        return DegradationStage.ELASTIC
+    return DegradationStage.OPPORTUNISTIC
+
+
+def next_stage(stage: DegradationStage) -> Optional[DegradationStage]:
+    """The rung below ``stage``, or ``None`` at the ladder's bottom."""
+    index = LADDER.index(stage)
+    if index + 1 >= len(LADDER):
+        return None
+    return LADDER[index + 1]
+
+
+def mode_for_stage(
+    stage: DegradationStage, *, elastic_slack: float
+) -> Optional[ExecutionMode]:
+    """Execution mode of a ladder rung.
+
+    ``None`` for BEST_EFFORT: best-effort is *executed* as
+    Opportunistic but is a distinct contract (no re-admission attempts
+    remain), so callers must treat it explicitly rather than receiving
+    a mode that looks recoverable.
+    """
+    if stage is DegradationStage.STRICT:
+        return ExecutionMode.strict()
+    if stage is DegradationStage.ELASTIC:
+        check_probability("elastic_slack", elastic_slack)
+        return ExecutionMode.elastic(elastic_slack)
+    if stage is DegradationStage.OPPORTUNISTIC:
+        return ExecutionMode.opportunistic()
+    return None
+
+
+def downgrade_mode(
+    mode: ExecutionMode, *, elastic_slack: float
+) -> Optional[ExecutionMode]:
+    """One ladder rung down from ``mode``; ``None`` once past Opportunistic."""
+    stage = next_stage(stage_for_mode(mode))
+    if stage is None:
+        return None
+    return mode_for_stage(stage, elastic_slack=elastic_slack)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for re-admission.
+
+    ``delay(attempt)`` is ``backoff_base * backoff_factor**attempt``;
+    attempt numbering starts at zero (the first post-fault re-admission
+    already waits one base delay — the LAC state that just rejected the
+    job cannot have improved instantaneously).
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("max_retries", self.max_retries)
+        check_positive("backoff_base", self.backoff_base)
+        check_positive("backoff_factor", self.backoff_factor)
+
+    def delay(self, attempt: int) -> float:
+        """Backoff delay before re-admission attempt ``attempt``."""
+        check_non_negative("attempt", attempt)
+        return self.backoff_base * self.backoff_factor**attempt
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether attempt ``attempt`` exceeds the retry budget."""
+        return attempt >= self.max_retries

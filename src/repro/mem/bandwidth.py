@@ -15,7 +15,13 @@ is ``1 / (1 - rho)``, clamped at a configurable saturation threshold.
 
 from __future__ import annotations
 
-from repro.util.validation import check_fraction, check_positive
+from typing import List
+
+from repro.util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
 
 
 class BandwidthModel:
@@ -39,6 +45,45 @@ class BandwidthModel:
         self.clock_hz = clock_hz
         self.block_bytes = block_bytes
         self.saturation_threshold = saturation_threshold
+        # Active brown-out derates (fault injection).  Factors stack
+        # multiplicatively: two overlapping 0.5× windows leave 25% of
+        # peak.  With the stack empty the effective peak is *exactly*
+        # ``peak_bytes_per_second`` (multiplying by nothing, not by a
+        # float 1.0 product), keeping fault-free runs byte-identical.
+        self._derate_factors: List[float] = []
+
+    # -- fault injection --------------------------------------------------------
+
+    @property
+    def derate_factor(self) -> float:
+        """Product of the active derate factors (1.0 when healthy)."""
+        factor = 1.0
+        for value in self._derate_factors:
+            factor *= value
+        return factor
+
+    @property
+    def effective_peak_bytes_per_second(self) -> float:
+        """Peak bandwidth after any active brown-out derates."""
+        if not self._derate_factors:
+            return self.peak_bytes_per_second
+        return self.peak_bytes_per_second * self.derate_factor
+
+    def apply_derate(self, factor: float) -> None:
+        """Start a brown-out: multiply the bus peak by ``factor``."""
+        check_probability("factor", factor)
+        if factor == 0:
+            raise ValueError("a zero derate factor would sever the bus")
+        self._derate_factors.append(factor)
+
+    def remove_derate(self, factor: float) -> None:
+        """End one previously-applied brown-out window."""
+        try:
+            self._derate_factors.remove(factor)
+        except ValueError:
+            raise ValueError(
+                f"no active derate with factor {factor} to remove"
+            ) from None
 
     # -- utilisation ------------------------------------------------------------
 
@@ -54,7 +99,7 @@ class BandwidthModel:
                 f"{transfers_per_cycle}"
             )
         offered = transfers_per_cycle * self.block_bytes * self.clock_hz
-        return offered / self.peak_bytes_per_second
+        return offered / self.effective_peak_bytes_per_second
 
     def utilisation_from_jobs(self, per_job_mpc: list) -> float:
         """Utilisation from a list of per-job misses-per-cycle values."""
@@ -78,8 +123,12 @@ class BandwidthModel:
         64 bytes over 6.4 GB/s at 2 GHz is 20 cycles — the service time
         of the M/M/1 bus server.  Only this portion of a miss queues;
         the DRAM array access itself does not shrink with bus load.
+        A brown-out derate stretches the service time proportionally.
         """
-        return self.block_bytes * self.clock_hz / self.peak_bytes_per_second
+        return (
+            self.block_bytes * self.clock_hz
+            / self.effective_peak_bytes_per_second
+        )
 
     def queueing_delay_cycles(self, transfers_per_cycle: float) -> float:
         """Mean extra cycles a miss waits for the bus (M/M/1 wait).
@@ -103,4 +152,6 @@ class BandwidthModel:
 
     def max_transfers_per_cycle(self) -> float:
         """Block transfers per cycle at 100% bus utilisation."""
-        return self.peak_bytes_per_second / (self.block_bytes * self.clock_hz)
+        return self.effective_peak_bytes_per_second / (
+            self.block_bytes * self.clock_hz
+        )

@@ -27,6 +27,33 @@ class DramModel:
         self.size_bytes = size_bytes
         self.reads = 0
         self.writebacks = 0
+        # Fault injection: extra cycles added to every access while a
+        # degradation window is active (e.g. a rank operating in a
+        # reduced-power or error-retry state).  Zero by default, so
+        # fault-free runs are byte-identical to the pre-fault model.
+        self._latency_penalty_cycles = 0.0
+        self.degraded_accesses = 0
+
+    # -- fault injection --------------------------------------------------------
+
+    @property
+    def effective_latency_cycles(self) -> float:
+        """Access latency including any active fault penalty."""
+        return self.latency_cycles + self._latency_penalty_cycles
+
+    @property
+    def is_degraded(self) -> bool:
+        """Whether a latency-degradation window is currently active."""
+        return self._latency_penalty_cycles > 0.0
+
+    def apply_latency_penalty(self, extra_cycles: float) -> None:
+        """Start a degradation window adding ``extra_cycles`` per access."""
+        check_non_negative("extra_cycles", extra_cycles)
+        self._latency_penalty_cycles += extra_cycles
+
+    def clear_latency_penalty(self) -> None:
+        """End all degradation windows, restoring the nominal latency."""
+        self._latency_penalty_cycles = 0.0
 
     def access(self, address: int) -> float:
         """Service one read (L2 miss fill); return its latency in cycles.
@@ -40,6 +67,9 @@ class DramModel:
                 "main memory"
             )
         self.reads += 1
+        if self._latency_penalty_cycles > 0.0:
+            self.degraded_accesses += 1
+            return self.effective_latency_cycles
         return self.latency_cycles
 
     def record_writeback(self) -> None:

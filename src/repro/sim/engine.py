@@ -4,7 +4,16 @@ Events are ``(time, sequence, callback)`` triples in a binary heap; ties
 in time break by insertion order, which keeps simulations exactly
 reproducible.  Cancellation uses lazy invalidation: cancelled handles
 stay in the heap and are skipped on pop (cheaper than heap surgery, and
-the simulators cancel often when rates change).
+the simulators cancel often when rates change).  To keep rate-change
+heavy simulations from growing the heap without bound, the queue
+compacts itself — rebuilding the heap without cancelled entries —
+whenever cancelled entries outnumber live ones.
+
+:meth:`EventQueue.run` additionally supports *graceful* budgets: an
+event-count budget and a wall-clock budget that stop the loop and
+report why, instead of raising, so a caller can emit a partial report
+or checkpoint and resume later (the robustness surface used by
+:mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -12,10 +21,45 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 EventCallback = Callable[[float], None]
+
+#: Outcomes of :meth:`EventQueue.run`.
+RUN_DRAINED = "drained"
+RUN_HORIZON = "horizon"
+RUN_STOPPED = "stopped"
+RUN_EVENT_BUDGET = "event-budget"
+RUN_WALL_CLOCK_BUDGET = "wall-clock-budget"
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Graceful stopping budgets for :meth:`EventQueue.run`.
+
+    ``max_events`` bounds events fired *within one run call*;
+    ``max_wall_seconds`` bounds real (host) time.  Either may be
+    ``None`` for unlimited.  Unlike the engine's ``max_events`` runaway
+    guard, exhausting a budget stops cleanly with an outcome string
+    rather than raising — the caller decides whether to emit a partial
+    report, checkpoint, or resume.
+    """
+
+    max_events: Optional[int] = None
+    max_wall_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_events is not None and self.max_events < 0:
+            raise ValueError(
+                f"max_events must be non-negative, got {self.max_events}"
+            )
+        if self.max_wall_seconds is not None and self.max_wall_seconds < 0:
+            raise ValueError(
+                f"max_wall_seconds must be non-negative, got "
+                f"{self.max_wall_seconds}"
+            )
 
 
 @dataclass(order=True)
@@ -24,13 +68,15 @@ class _HeapEntry:
     sequence: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    popped: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Opaque handle allowing an event to be cancelled."""
 
-    def __init__(self, entry: _HeapEntry) -> None:
+    def __init__(self, entry: _HeapEntry, queue: "EventQueue") -> None:
         self._entry = entry
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -44,15 +90,24 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
+        if self._entry.cancelled:
+            return
         self._entry.cancelled = True
+        if not self._entry.popped:
+            self._queue._note_cancelled()
 
 
 class EventQueue:
     """Priority event queue with a monotone simulated clock."""
 
+    #: Compaction never triggers below this raw heap size, so small
+    #: queues keep the cheap lazy-invalidation behaviour.
+    COMPACT_MIN_SIZE = 64
+
     def __init__(self) -> None:
         self._heap: List[_HeapEntry] = []
         self._sequence = itertools.count()
+        self._cancelled_in_heap = 0
         self.now = 0.0
         self.events_fired = 0
 
@@ -66,7 +121,7 @@ class EventQueue:
             )
         entry = _HeapEntry(time, next(self._sequence), callback)
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        return EventHandle(entry, self)
 
     def schedule_after(self, delay: float, callback: EventCallback) -> EventHandle:
         """Schedule relative to the current time."""
@@ -85,6 +140,7 @@ class EventQueue:
         if not self._heap:
             return False
         entry = heapq.heappop(self._heap)
+        entry.popped = True
         self.now = entry.time
         self.events_fired += 1
         entry.callback(entry.time)
@@ -96,19 +152,36 @@ class EventQueue:
         until: float = math.inf,
         max_events: int = 10_000_000,
         stop_when: Optional[Callable[[], bool]] = None,
-    ) -> None:
+        budget: Optional[RunBudget] = None,
+    ) -> str:
         """Drain events until the horizon, a predicate, or exhaustion.
 
-        ``max_events`` is a runaway guard: a simulator bug that
-        reschedules forever raises instead of hanging.
+        Returns one of the ``RUN_*`` outcome strings describing why the
+        loop stopped.  ``budget`` bounds this call gracefully (see
+        :class:`RunBudget`); ``max_events`` stays a runaway guard — a
+        simulator bug that reschedules forever raises instead of
+        hanging.
         """
         fired = 0
+        wall_deadline = None
+        if budget is not None and budget.max_wall_seconds is not None:
+            wall_deadline = _time.monotonic() + budget.max_wall_seconds
         while True:
             if stop_when is not None and stop_when():
-                return
+                return RUN_STOPPED
+            if (
+                budget is not None
+                and budget.max_events is not None
+                and fired >= budget.max_events
+            ):
+                return RUN_EVENT_BUDGET
+            if wall_deadline is not None and _time.monotonic() >= wall_deadline:
+                return RUN_WALL_CLOCK_BUDGET
             next_time = self.peek_time()
-            if next_time is None or next_time > until:
-                return
+            if next_time is None:
+                return RUN_DRAINED
+            if next_time > until:
+                return RUN_HORIZON
             self.step()
             fired += 1
             if fired >= max_events:
@@ -117,9 +190,40 @@ class EventQueue:
                     f"time {self.now}; likely a rescheduling loop"
                 )
 
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        if (
+            len(self._heap) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_heap * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries.
+
+        Heap order among survivors is re-established by ``heapify``;
+        relative (time, sequence) ordering — and therefore the event
+        schedule — is unchanged.
+        """
+        self._heap = [entry for entry in self._heap if not entry.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
+
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+            entry = heapq.heappop(self._heap)
+            entry.popped = True
+            self._cancelled_in_heap -= 1
 
     def __len__(self) -> int:
         return sum(1 for entry in self._heap if not entry.cancelled)
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap size including lazily-cancelled entries.
+
+        Exposed so regression tests can assert the compaction bound:
+        cancelled entries never exceed live ones (plus the compaction
+        floor).
+        """
+        return len(self._heap)

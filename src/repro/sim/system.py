@@ -37,14 +37,18 @@ implemented and tested for real).
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.admission import LocalAdmissionController, Reservation
 from repro.core.config import ModeMixConfig
 from repro.core.job import Job, JobState
 from repro.core.metrics import (
     DeadlineReport,
+    DowngradeRecord,
+    ResilienceReport,
     ThroughputReport,
     WallClockSummary,
 )
@@ -55,8 +59,18 @@ from repro.core.stealing import (
     StealingAction,
 )
 from repro.cpu.cpi import CpiModel
+from repro.faults.injector import SystemFaultInjector
+from repro.faults.invariants import InvariantChecker
+from repro.faults.model import FaultConfig, FaultEvent, FaultSchedule
+from repro.faults.resilience import RetryPolicy, downgrade_mode
 from repro.sim.config import MachineConfig, SimulationConfig
-from repro.sim.engine import EventHandle, EventQueue
+from repro.sim.engine import (
+    RUN_EVENT_BUDGET,
+    RUN_WALL_CLOCK_BUDGET,
+    EventHandle,
+    EventQueue,
+    RunBudget,
+)
 from repro.sim.tracing import ExecutionTrace
 from repro.util.rng import DeterministicRng
 from repro.workloads.arrival import DeadlinePolicy
@@ -92,6 +106,10 @@ class _JobRun:
     # Event handles
     completion_handle: Optional[EventHandle] = None
     steal_handle: Optional[EventHandle] = None
+    # Fault-recovery state
+    displaced: bool = False
+    retry_attempt: int = 0
+    best_effort: bool = False
 
     def miss_increase_fraction(self) -> float:
         """Curve-predicted analogue of the shadow-tag comparison."""
@@ -125,6 +143,13 @@ class SystemResult:
     lac_admission_tests: int
     lac_candidate_windows: int
     per_job_ways_history: Dict[int, List[int]] = field(default_factory=dict)
+    # Fault-injection surface (defaults keep fault-free construction
+    # sites unchanged).  ``partial`` marks a budget-aborted run whose
+    # throughput/deadline figures cover only the work done so far.
+    partial: bool = False
+    abort_reason: Optional[str] = None
+    resilience: Optional[ResilienceReport] = None
+    fault_timeline_digest: Optional[str] = None
 
 
 class QoSSystemSimulator:
@@ -142,6 +167,7 @@ class QoSSystemSimulator:
         sim_config: Optional[SimulationConfig] = None,
         curves: Optional[Dict[str, MissRatioCurve]] = None,
         record_trace: bool = True,
+        fault_config: Optional[FaultConfig] = None,
     ) -> None:
         if workload.configuration.equal_partition:
             raise ValueError(
@@ -182,6 +208,35 @@ class QoSSystemSimulator:
         self._finished = False
         self._bus_saturated = False
 
+        # Fault injection and resilience (all inert when fault_config is
+        # None or injects nothing: no events are scheduled, no RNG
+        # streams are drawn, and the trajectory is byte-identical to the
+        # pre-fault simulator).
+        self.fault_config = fault_config
+        self._retry_policy = (
+            RetryPolicy(
+                max_retries=fault_config.max_retries,
+                backoff_base=fault_config.backoff_base,
+                backoff_factor=fault_config.backoff_factor,
+            )
+            if fault_config is not None
+            else RetryPolicy()
+        )
+        self._failed_cores: Dict[int, float] = {}  # core -> repair time
+        self._stalled_cores: Dict[int, float] = {}  # core -> stall end
+        self._fault_log: List[Tuple[float, FaultEvent]] = []
+        self._downgrades: List[DowngradeRecord] = []
+        self._displacements = 0
+        self._readmissions = 0
+        self._readmission_attempts = 0
+        self._deferred_dispatches = 0
+        self._ecc_cancellations = 0
+        self._fault_schedule: Optional[FaultSchedule] = None
+        self._injector: Optional[SystemFaultInjector] = None
+        self._invariants: Optional[InvariantChecker] = None
+        self._started = False
+        self._abort_reason: Optional[str] = None
+
     # -- curve and timing helpers -------------------------------------------------
 
     def _curve_for(self, benchmark: str) -> MissRatioCurve:
@@ -215,13 +270,74 @@ class QoSSystemSimulator:
 
     # -- main entry ------------------------------------------------------------------
 
-    def run(self) -> SystemResult:
-        """Run to completion of all template jobs and build the result."""
+    @property
+    def finished(self) -> bool:
+        """Whether every job has reached a terminal state."""
+        return self._finished
+
+    def _estimate_fault_horizon(self) -> float:
+        """Fault-process horizon when the config leaves it unset.
+
+        Twice the serialised runtime of the whole workload — a
+        deterministic over-estimate of the makespan, so the fault
+        process covers the entire run.  Events past completion simply
+        never fire.
+        """
+        reference_tw = (
+            self._mean_gap / self.sim_config.probe_interarrival_fraction
+        )
+        return 2.0 * reference_tw * (len(self.workload.jobs) + 1)
+
+    def start(self) -> None:
+        """Schedule the initial events (idempotent).
+
+        Split out of :meth:`run` so checkpoint replay and budget-limited
+        runs can drive the event queue directly.
+        """
+        if self._started:
+            return
+        self._started = True
         self._mean_gap = self._mean_probe_gap()
         self._probe_rng = self.rng.stream("probes")
         self.events.schedule(0.0, self._on_probe)
-        self.events.run(stop_when=lambda: self._finished)
+        if self.fault_config is not None:
+            if self.fault_config.has_any_faults:
+                horizon = self.fault_config.horizon
+                if horizon is None:
+                    horizon = self._estimate_fault_horizon()
+                self._fault_schedule = FaultSchedule.generate(
+                    self.fault_config,
+                    horizon=horizon,
+                    num_cores=self.machine.num_cores,
+                )
+                self._injector = SystemFaultInjector(
+                    self, self._fault_schedule
+                )
+                self._injector.arm()
+            if self.fault_config.invariant_check_interval > 0:
+                self._invariants = InvariantChecker(
+                    self,
+                    every_n_events=self.fault_config.invariant_check_interval,
+                )
+
+    def run(self, *, budget: Optional[RunBudget] = None) -> SystemResult:
+        """Run to completion of all template jobs and build the result.
+
+        With a :class:`~repro.sim.engine.RunBudget`, exhausting the
+        budget aborts gracefully: the returned result is marked
+        ``partial`` (with ``abort_reason``) and covers the work done so
+        far, and the simulator can be checkpointed via
+        :func:`repro.faults.checkpoint.checkpoint_simulator` or simply
+        :meth:`run` again to continue.
+        """
+        self.start()
+        outcome = self.events.run(
+            stop_when=lambda: self._finished, budget=budget
+        )
         if not self._finished:
+            if outcome in (RUN_EVENT_BUDGET, RUN_WALL_CLOCK_BUDGET):
+                self._abort_reason = outcome
+                return self._build_result(partial=True)
             raise RuntimeError(
                 "event queue drained before the workload completed; "
                 "simulation deadlocked"
@@ -444,12 +560,19 @@ class QoSSystemSimulator:
 
         return switch_back
 
-    def _make_wall_clock_check(self, job_id: int):
+    def _make_wall_clock_check(self, job_id: int, reservation_id: int):
         def check(now: float) -> None:
             state = self._states[job_id]
             if state.job.state is not JobState.RUNNING:
                 return
             if not state.reserved_running:
+                return
+            if (
+                state.reservation is None
+                or state.reservation.reservation_id != reservation_id
+            ):
+                # Stale check from a reservation lost to a core fault;
+                # the re-admitted reservation scheduled its own check.
                 return
             self._advance_all(now)
             if state.job.instructions - state.progress <= _PROGRESS_EPSILON:
@@ -488,8 +611,20 @@ class QoSSystemSimulator:
             core
             for core in range(self.machine.num_cores)
             if core not in self._reserved_cores
+            and core not in self._failed_cores
         ]
         if not free_cores:
+            if self._failed_cores:
+                # Every unreserved core is down: hold the dispatch until
+                # the earliest repair instead of declaring the LAC
+                # broken — the LAC booked against nominal capacity and
+                # cannot see hardware faults.
+                self._deferred_dispatches += 1
+                retry_at = max(now, min(self._failed_cores.values())) + 1e-9
+                self.events.schedule(
+                    retry_at, self._make_reserved_dispatch(state.job.job_id)
+                )
+                return
             raise RuntimeError(
                 f"no free core for reserved job {state.job.job_id}; the "
                 "LAC over-admitted cores"
@@ -500,7 +635,11 @@ class QoSSystemSimulator:
         state.reserved_running = True
         if not state.running:
             state.running = True
-            state.job.mark_started(now, core_id=core)
+            if state.job.state is JobState.ACCEPTED:
+                state.job.mark_started(now, core_id=core)
+            else:
+                # Re-admitted after displacement: already RUNNING.
+                state.job.assigned_core = core
         else:
             state.job.assigned_core = core
 
@@ -511,7 +650,9 @@ class QoSSystemSimulator:
         ):
             self.events.schedule(
                 max(now, state.reservation.end),
-                self._make_wall_clock_check(state.job.job_id),
+                self._make_wall_clock_check(
+                    state.job.job_id, state.reservation.reservation_id
+                ),
             )
 
         mode = state.spec.mode
@@ -558,9 +699,13 @@ class QoSSystemSimulator:
         opportunistic = [s for s in running if not s.reserved_running]
 
         # Reserved jobs: pinned core, own (possibly stealing-reduced) ways.
+        # A reserved job on a stalled core keeps its reservation but
+        # retires nothing until the stall ends (it may then overrun).
         reserved_ways_total = 0
         for state in reserved:
-            state.cpu_share = 1.0
+            state.cpu_share = (
+                0.0 if state.core_id in self._stalled_cores else 1.0
+            )
             state.ways = (
                 state.steal.current_ways
                 if state.steal is not None
@@ -568,12 +713,14 @@ class QoSSystemSimulator:
             )
             reserved_ways_total += state.ways
 
-        # Opportunistic pool: round-robin over unreserved cores, sharing
-        # the spare ways (unreserved + stolen).
+        # Opportunistic pool: round-robin over unreserved healthy cores,
+        # sharing the spare ways (unreserved + stolen).
         free_cores = [
             core
             for core in range(self.machine.num_cores)
             if core not in self._reserved_cores
+            and core not in self._failed_cores
+            and core not in self._stalled_cores
         ]
         spare_ways = self.machine.l2_ways - reserved_ways_total
         if spare_ways < 0:
@@ -658,6 +805,9 @@ class QoSSystemSimulator:
             self._ways_history[state.job.job_id].append(state.ways)
             self._reschedule_completion(state, now)
             self._reschedule_steal(state, now)
+
+        if self._invariants is not None:
+            self._invariants.maybe_check()
 
     def _reschedule_completion(self, state: _JobRun, now: float) -> None:
         if state.completion_handle is not None:
@@ -763,15 +913,301 @@ class QoSSystemSimulator:
 
         return interval
 
+    # -- fault injection & graceful degradation ----------------------------------------------------
+
+    def record_fault(self, event: FaultEvent, now: float) -> None:
+        """Log one injected fault (called by the fault injector)."""
+        self._fault_log.append((now, event))
+
+    def fail_core(self, core: int, *, duration: float, now: float) -> None:
+        """A core goes down for ``duration``; displace its reserved job."""
+        core = core % self.machine.num_cores
+        self._advance_all(now)
+        repair_at = now + duration
+        self._failed_cores[core] = max(
+            repair_at, self._failed_cores.get(core, 0.0)
+        )
+        self.events.schedule(repair_at, self._make_core_repair(core))
+        # A stall on a core that then fails is subsumed by the failure
+        # (the pending stall-end event no-ops once the core is gone).
+        self._stalled_cores.pop(core, None)
+        job_id = self._reserved_cores.get(core)
+        if job_id is not None:
+            self._displace(self._states[job_id], now)
+        self._recompute(now)
+
+    def _make_core_repair(self, core: int):
+        def repair(now: float) -> None:
+            # Overlapping failures extend the repair time; only the
+            # event matching the final repair instant clears the core.
+            if self._failed_cores.get(core, math.inf) <= now + 1e-12:
+                del self._failed_cores[core]
+                self._advance_all(now)
+                self._recompute(now)
+
+        return repair
+
+    def stall_core(self, core: int, *, duration: float, now: float) -> None:
+        """Transient stall: the core retires nothing until it ends.
+
+        Jobs on the core keep their reservations and may consequently
+        overrun them (terminated at the boundary per Section 3.2).
+        """
+        core = core % self.machine.num_cores
+        if core in self._failed_cores:
+            return  # a failed core cannot also stall
+        self._advance_all(now)
+        end_at = now + duration
+        self._stalled_cores[core] = max(
+            end_at, self._stalled_cores.get(core, 0.0)
+        )
+        self.events.schedule(end_at, self._make_stall_end(core))
+        self._recompute(now)
+
+    def _make_stall_end(self, core: int):
+        def end(now: float) -> None:
+            if self._stalled_cores.get(core, math.inf) <= now + 1e-12:
+                del self._stalled_cores[core]
+                self._advance_all(now)
+                self._recompute(now)
+
+        return end
+
+    def degrade_bandwidth(
+        self, factor: float, *, duration: float, now: float
+    ) -> None:
+        """Brown-out: derate the bus peak by ``factor`` for ``duration``."""
+        self._advance_all(now)
+        self.bandwidth.apply_derate(factor)
+        self.events.schedule(now + duration, self._make_derate_end(factor))
+        self._recompute(now)
+
+    def _make_derate_end(self, factor: float):
+        def end(now: float) -> None:
+            self.bandwidth.remove_derate(factor)
+            self._advance_all(now)
+            self._recompute(now)
+
+        return end
+
+    def inject_ecc_error(self, target: int, *, now: float) -> None:
+        """ECC upset in a duplicate tag array: cancel that job's stealing.
+
+        The victim is the ``target``-th (mod count) reserved-running
+        Elastic job in job-id order — deterministic for a given
+        simulator state.  With no stealing jobs active the upset hits an
+        idle array and is harmless (still logged by the injector).
+        """
+        self._advance_all(now)
+        candidates = sorted(
+            (
+                s
+                for s in self._states.values()
+                if s.steal is not None and s.reserved_running
+            ),
+            key=lambda s: s.job.job_id,
+        )
+        if not candidates:
+            return
+        state = candidates[target % len(candidates)]
+        state.steal.on_ecc_error()
+        self._ecc_cancellations += 1
+        # The curve-based shadow observation restarts from scratch,
+        # mirroring ShadowTagArray.inject_ecc_error.
+        state.actual_misses = 0.0
+        state.baseline_misses = 0.0
+        self._recompute(now)
+
+    def _displace(self, state: _JobRun, now: float) -> None:
+        """Strip a faulted job of its core and reservation (recovery
+        step 1); re-admission is scheduled with backoff."""
+        self._displacements += 1
+        job = state.job
+        if state.reservation is not None:
+            self.lac.release(state.reservation, at_time=now)
+            state.reservation = None
+        for reserved_core, job_id in list(self._reserved_cores.items()):
+            if job_id == job.job_id:
+                del self._reserved_cores[reserved_core]
+        state.reserved_running = False
+        state.running = False
+        state.displaced = True
+        state.rate = 0.0
+        state.cpu_share = 0.0
+        state.core_id = -1
+        if state.completion_handle is not None:
+            state.completion_handle.cancel()
+            state.completion_handle = None
+        if state.steal_handle is not None:
+            state.steal_handle.cancel()
+            state.steal_handle = None
+        state.steal = None
+        state.retry_attempt = 0
+        self.events.schedule(
+            now + self._retry_policy.delay(0),
+            self._make_readmit(job.job_id),
+        )
+
+    def _make_readmit(self, job_id: int):
+        def readmit(now: float) -> None:
+            state = self._states[job_id]
+            if not state.displaced or state.job.state is not JobState.RUNNING:
+                return
+            self._advance_all(now)
+            self._try_readmit(state, now)
+            self._recompute(now)
+
+        return readmit
+
+    def _remaining_duration(
+        self, state: _JobRun, mode: ExecutionMode
+    ) -> float:
+        """Reservation length for the job's remaining instructions."""
+        remaining_fraction = max(
+            0.0, 1.0 - state.progress / state.job.instructions
+        )
+        remaining_tw = (
+            state.tw * remaining_fraction * (1.0 + self.RESERVATION_MARGIN)
+        )
+        return mode.reservation_duration(remaining_tw)
+
+    def _try_readmit(self, state: _JobRun, now: float) -> None:
+        """One re-admission attempt; on repeated failure, walk the
+        strict → elastic → opportunistic → best-effort ladder."""
+        job = state.job
+        mode = job.current_mode
+        if mode.kind is ModeKind.OPPORTUNISTIC:
+            self._resume_opportunistic(state, now)
+            return
+        self._readmission_attempts += 1
+        duration = self._remaining_duration(state, mode)
+        if duration <= 0.0:
+            self._resume_opportunistic(state, now)
+            return
+        deadline = job.deadline
+        latest_end = deadline if deadline is not None else math.inf
+        reservation = self.lac.reserve_window(
+            job.job_id,
+            job.target.resources,
+            duration,
+            not_before=now,
+            latest_end=latest_end,
+        )
+        if reservation is not None:
+            self._readmissions += 1
+            state.reservation = reservation
+            state.displaced = False
+            state.retry_attempt = 0
+            if reservation.start <= now + 1e-12:
+                self._dispatch_reserved(state, now)
+            else:
+                self.events.schedule(
+                    reservation.start,
+                    self._make_reserved_dispatch(job.job_id),
+                )
+            return
+        attempt = state.retry_attempt + 1
+        if not self._retry_policy.exhausted(attempt):
+            state.retry_attempt = attempt
+            self.events.schedule(
+                now + self._retry_policy.delay(attempt),
+                self._make_readmit(job.job_id),
+            )
+            return
+        # Retries exhausted at this rung: one step down the ladder.
+        slack = (
+            self.fault_config.elastic_downgrade_slack
+            if self.fault_config is not None
+            else 0.10
+        )
+        new_mode = downgrade_mode(mode, elastic_slack=slack)
+        if new_mode is None:
+            # Past Opportunistic: the guarantee is formally surrendered
+            # and the job finishes on spare resources (best-effort).
+            state.best_effort = True
+            self._record_downgrade(
+                now,
+                job,
+                mode,
+                None,
+                f"retries exhausted after {attempt} attempts at the "
+                "final reserved rung; guarantee surrendered",
+            )
+            opportunistic = ExecutionMode.opportunistic()
+            job.change_mode(now, opportunistic)
+            state.spec = dataclasses.replace(state.spec, mode=opportunistic)
+            self._resume_opportunistic(state, now)
+            return
+        self._record_downgrade(
+            now,
+            job,
+            mode,
+            new_mode,
+            f"re-admission failed after {attempt} attempts",
+        )
+        job.change_mode(now, new_mode)
+        state.spec = dataclasses.replace(state.spec, mode=new_mode)
+        state.retry_attempt = 0
+        if new_mode.kind is ModeKind.OPPORTUNISTIC:
+            self._resume_opportunistic(state, now)
+        else:
+            self.events.schedule(
+                now + self._retry_policy.delay(0),
+                self._make_readmit(job.job_id),
+            )
+
+    def _resume_opportunistic(self, state: _JobRun, now: float) -> None:
+        """A displaced job resumes on spare resources (no reservation)."""
+        state.displaced = False
+        state.running = True
+        state.reserved_running = False
+        state.core_id = -1
+
+    def _record_downgrade(
+        self,
+        now: float,
+        job: Job,
+        from_mode: ExecutionMode,
+        to_mode: Optional[ExecutionMode],
+        reason: str,
+    ) -> None:
+        self._downgrades.append(
+            DowngradeRecord(
+                time=now,
+                job_id=job.job_id,
+                from_mode=from_mode.describe(),
+                to_mode=(
+                    to_mode.describe()
+                    if to_mode is not None
+                    else "best-effort"
+                ),
+                reason=reason,
+            )
+        )
+
     # -- results -----------------------------------------------------------------------------------
 
-    def _build_result(self) -> SystemResult:
+    def _build_result(self, *, partial: bool = False) -> SystemResult:
         jobs = list(self._accepted)
         completed = sum(
             1 for job in jobs if job.state is JobState.COMPLETED
         )
         first_n = min(self.sim_config.accepted_jobs_target, completed)
-        throughput = ThroughputReport.from_jobs(jobs, first_n=first_n)
+        if partial:
+            # A budget abort leaves jobs mid-flight; measure throughput
+            # over whatever completed, never raising on the remainder.
+            finished_jobs = [
+                job for job in jobs if job.state is JobState.COMPLETED
+            ]
+            throughput = (
+                ThroughputReport.from_jobs(finished_jobs, first_n=first_n)
+                if first_n > 0
+                else ThroughputReport(
+                    jobs_measured=0, makespan=self.events.now
+                )
+            )
+        else:
+            throughput = ThroughputReport.from_jobs(jobs, first_n=first_n)
         deadline = DeadlineReport.from_jobs(jobs, reserved_modes_only=True)
         wall_clock = WallClockSummary.from_jobs(jobs)
         cancellations = sum(
@@ -779,6 +1215,34 @@ class QoSSystemSimulator:
             for state in self._states.values()
             if state.steal is not None
         )
+        resilience: Optional[ResilienceReport] = None
+        digest: Optional[str] = None
+        if self.fault_config is not None:
+            fault_counts: Dict[str, int] = {}
+            for _, event in self._fault_log:
+                fault_counts[event.kind.value] = (
+                    fault_counts.get(event.kind.value, 0) + 1
+                )
+            resilience = ResilienceReport(
+                faults_injected=len(self._fault_log),
+                fault_counts=fault_counts,
+                downgrades=tuple(self._downgrades),
+                displacements=self._displacements,
+                readmissions=self._readmissions,
+                readmission_attempts=self._readmission_attempts,
+                deferred_dispatches=self._deferred_dispatches,
+                best_effort_jobs=sum(
+                    1 for s in self._states.values() if s.best_effort
+                ),
+                ecc_cancellations=self._ecc_cancellations,
+                invariant_checks=(
+                    self._invariants.checks_run
+                    if self._invariants is not None
+                    else 0
+                ),
+            )
+            if self._fault_schedule is not None:
+                digest = self._fault_schedule.digest()
         return SystemResult(
             workload_name=self.workload.name,
             configuration_name=self.config.name,
@@ -800,4 +1264,8 @@ class QoSSystemSimulator:
             lac_admission_tests=self.lac.stats.admission_tests,
             lac_candidate_windows=self.lac.stats.candidate_windows_evaluated,
             per_job_ways_history=self._ways_history,
+            partial=partial,
+            abort_reason=self._abort_reason,
+            resilience=resilience,
+            fault_timeline_digest=digest,
         )

@@ -16,10 +16,13 @@ from repro.util.rng import DeterministicRng, derive_seed
 from repro.util.stats import Histogram, RunningStats
 from repro.util.tables import format_table
 from repro.util.validation import (
+    check_finite,
     check_fraction,
+    check_in_range,
     check_non_negative,
     check_positive,
     check_power_of_two,
+    check_probability,
 )
 
 __all__ = [
@@ -28,8 +31,11 @@ __all__ = [
     "RunningStats",
     "Histogram",
     "format_table",
+    "check_finite",
     "check_positive",
     "check_non_negative",
     "check_fraction",
+    "check_probability",
+    "check_in_range",
     "check_power_of_two",
 ]

@@ -4,24 +4,39 @@ All public constructors in the library validate their inputs through
 these helpers so that misconfiguration fails fast with a message naming
 the offending parameter, rather than surfacing later as a confusing
 simulation result.
+
+Every numeric helper rejects non-finite values (NaN, ±inf) explicitly:
+NaN compares False against any bound, so without the explicit check a
+NaN would silently *pass* ``check_positive``-style predicates written
+in the rejecting direction and poison every downstream computation.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Union
 
 Number = Union[int, float]
 
 
+def check_finite(name: str, value: Number) -> Number:
+    """Require ``value`` to be a finite number (no NaN, no ±inf)."""
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be a finite number, got {value!r}")
+    return value
+
+
 def check_positive(name: str, value: Number) -> Number:
-    """Require ``value > 0``; return it for inline use."""
+    """Require ``value > 0`` and finite; return it for inline use."""
+    check_finite(name, value)
     if value <= 0:
         raise ValueError(f"{name} must be positive, got {value!r}")
     return value
 
 
 def check_non_negative(name: str, value: Number) -> Number:
-    """Require ``value >= 0``; return it for inline use."""
+    """Require ``value >= 0`` and finite; return it for inline use."""
+    check_finite(name, value)
     if value < 0:
         raise ValueError(f"{name} must be non-negative, got {value!r}")
     return value
@@ -29,6 +44,7 @@ def check_non_negative(name: str, value: Number) -> Number:
 
 def check_fraction(name: str, value: Number, *, inclusive: bool = True) -> Number:
     """Require ``value`` to be a fraction in ``[0, 1]`` (or ``(0, 1)``)."""
+    check_finite(name, value)
     if inclusive:
         if not 0 <= value <= 1:
             raise ValueError(f"{name} must be in [0, 1], got {value!r}")
@@ -36,6 +52,16 @@ def check_fraction(name: str, value: Number, *, inclusive: bool = True) -> Numbe
         if not 0 < value < 1:
             raise ValueError(f"{name} must be in (0, 1), got {value!r}")
     return value
+
+
+def check_probability(name: str, value: Number) -> Number:
+    """Require ``value`` to be a finite probability in ``[0, 1]``.
+
+    Used for fault rates and per-event probabilities in
+    :mod:`repro.faults`, where a NaN slipping through would make a
+    "deterministic" fault schedule silently empty or ever-firing.
+    """
+    return check_fraction(name, value, inclusive=True)
 
 
 def check_power_of_two(name: str, value: int) -> int:
@@ -50,7 +76,8 @@ def check_power_of_two(name: str, value: int) -> int:
 
 
 def check_in_range(name: str, value: Number, low: Number, high: Number) -> Number:
-    """Require ``low <= value <= high``."""
+    """Require ``low <= value <= high`` with a finite ``value``."""
+    check_finite(name, value)
     if not low <= value <= high:
         raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
     return value

@@ -22,7 +22,7 @@ from __future__ import annotations
 import gzip
 import io
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from repro.cpu.core import MemoryAccess
 from repro.util.validation import check_positive
@@ -57,42 +57,75 @@ def record_trace(generator, path: PathLike, *, count: int) -> int:
     return write_trace(generator.accesses(count), path)
 
 
-class TraceParseError(ValueError):
-    """A trace file line could not be parsed."""
+class TraceFormatError(ValueError):
+    """A trace file line could not be parsed.
+
+    The message always names the offending file and 1-based line
+    number, so a malformed multi-gigabyte trace is diagnosable without
+    bisection.
+    """
+
+    def __init__(self, path: Path, line_number: int, detail: str) -> None:
+        super().__init__(f"{path}: line {line_number}: {detail}")
+        self.path = path
+        self.line_number = line_number
+        self.detail = detail
 
 
-def _parse_line(line: str, line_number: int) -> MemoryAccess:
+#: Backwards-compatible alias (the pre-hardening exception name).
+TraceParseError = TraceFormatError
+
+
+def _parse_line(line: str, path: Path, line_number: int) -> MemoryAccess:
     parts = line.split()
     if len(parts) != 2 or parts[0] not in ("R", "W"):
-        raise TraceParseError(
-            f"line {line_number}: expected '<R|W> <address>', got "
-            f"{line.rstrip()!r}"
+        raise TraceFormatError(
+            path,
+            line_number,
+            f"expected '<R|W> <address>', got {line.rstrip()!r}",
         )
     try:
         address = int(parts[1], 0)
     except ValueError:
-        raise TraceParseError(
-            f"line {line_number}: bad address {parts[1]!r}"
+        raise TraceFormatError(
+            path, line_number, f"bad address {parts[1]!r}"
         ) from None
     if address < 0:
-        raise TraceParseError(f"line {line_number}: negative address")
+        raise TraceFormatError(path, line_number, "negative address")
     return MemoryAccess(address, is_write=parts[0] == "W")
 
 
-def read_trace(path: PathLike) -> Iterator[MemoryAccess]:
-    """Stream accesses from a trace file (lazily; files may be huge)."""
+def read_trace(
+    path: PathLike,
+    *,
+    lenient: bool = False,
+    skipped: Optional[List[int]] = None,
+) -> Iterator[MemoryAccess]:
+    """Stream accesses from a trace file (lazily; files may be huge).
+
+    Malformed or truncated lines raise :class:`TraceFormatError` naming
+    the file and 1-based line number.  With ``lenient=True`` bad lines
+    are skipped instead; pass a list as ``skipped`` to collect their
+    line numbers (the skip count is ``len(skipped)``).
+    """
     path = Path(path)
     with _open_text(path, "r") as handle:
         for line_number, line in enumerate(handle, start=1):
             stripped = line.strip()
             if not stripped or stripped.startswith("#"):
                 continue
-            yield _parse_line(stripped, line_number)
+            try:
+                yield _parse_line(stripped, path, line_number)
+            except TraceFormatError:
+                if not lenient:
+                    raise
+                if skipped is not None:
+                    skipped.append(line_number)
 
 
-def load_trace(path: PathLike) -> List[MemoryAccess]:
+def load_trace(path: PathLike, *, lenient: bool = False) -> List[MemoryAccess]:
     """Read an entire trace into memory (for repeated replay)."""
-    return list(read_trace(path))
+    return list(read_trace(path, lenient=lenient))
 
 
 class FileTracePattern(AccessPattern):

@@ -300,11 +300,16 @@ class TestTimelineAgainstBruteForce:
 
         samples = 200
         step = probe_duration / samples
+        # Availability is piecewise-constant, so a fixed-step sweep can
+        # jump over a narrow reservation near probe_end; probing every
+        # breakpoint inside the window as well makes the check exact.
+        probes = [probe_start + i * step for i in range(samples)]
+        for reservation in lac._reservations:
+            for t in (reservation.start, reservation.end):
+                if probe_start <= t < probe_end:
+                    probes.append(t)
         dense = all(
-            request.fits_within(
-                lac.available_at(probe_start + i * step)
-            )
-            for i in range(samples)
+            request.fits_within(lac.available_at(t)) for t in probes
         )
         assert fits == dense
 

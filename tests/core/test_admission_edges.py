@@ -1,0 +1,174 @@
+"""Edge cases of the LAC reservation timeline (Section 5).
+
+Companion to ``test_admission.py``: exactly-full capacity, boundary
+windows, double-release, and the fault-recovery ``reserve_window``
+path added with :mod:`repro.faults`.
+"""
+
+import math
+
+import pytest
+
+from repro.core.admission import LocalAdmissionController
+from repro.core.job import Job
+from repro.core.modes import ExecutionMode
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+
+
+def node(cores=4, ways=16):
+    return LocalAdmissionController(ResourceVector(cores, ways))
+
+
+def make_job(job_id=1, *, cores=1, ways=7, tw=10.0, deadline=None, mode=None):
+    return Job(
+        job_id=job_id,
+        benchmark="bzip2",
+        target=QoSTarget(
+            ResourceVector(cores, ways),
+            TimeslotRequest(max_wall_clock=tw, deadline=deadline),
+            mode if mode is not None else ExecutionMode.strict(),
+        ),
+        arrival_time=0.0,
+        instructions=1000,
+    )
+
+
+class TestExactCapacity:
+    def test_request_exactly_filling_the_node_admits(self):
+        lac = node(cores=4, ways=16)
+        decision = lac.admit(
+            make_job(cores=4, ways=16, deadline=100.0), now=0.0
+        )
+        assert decision.accepted
+        assert lac.available_at(5.0) == ResourceVector(0, 0)
+
+    def test_one_way_over_capacity_rejects(self):
+        lac = node(cores=4, ways=16)
+        decision = lac.admit(make_job(cores=4, ways=17), now=0.0)
+        assert not decision.accepted
+        assert "capacity" in decision.reason
+
+    def test_two_exact_halves_fill_the_node(self):
+        lac = node(cores=4, ways=16)
+        a = lac.admit(make_job(1, cores=2, ways=8, deadline=100.0), now=0.0)
+        b = lac.admit(make_job(2, cores=2, ways=8, deadline=100.0), now=0.0)
+        assert a.accepted and b.accepted
+        assert a.reserved_start == 0.0
+        assert b.reserved_start == 0.0
+        # A third job must queue behind the earliest release.
+        c = lac.admit(make_job(3, cores=1, ways=1, deadline=100.0), now=0.0)
+        assert c.accepted
+        assert c.reserved_start == pytest.approx(10.0)
+
+
+class TestBoundaryWindows:
+    def test_back_to_back_reservations_share_the_boundary(self):
+        """[0, 10) and [10, 20) touch but never overlap (half-open)."""
+        lac = node(cores=1, ways=16)
+        a = lac.admit(make_job(1, cores=1, deadline=100.0), now=0.0)
+        b = lac.admit(make_job(2, cores=1, deadline=100.0), now=0.0)
+        assert a.accepted and b.accepted
+        assert a.reservation.end == pytest.approx(b.reservation.start)
+        assert lac.used_at(10.0).cores == 1  # b active, a gone
+
+    def test_deadline_exactly_at_window_end_admits(self):
+        lac = node()
+        decision = lac.admit(make_job(tw=10.0, deadline=10.0), now=0.0)
+        assert decision.accepted
+        assert decision.reservation.end == pytest.approx(10.0)
+
+    def test_deadline_a_hair_before_window_end_rejects(self):
+        lac = node()
+        decision = lac.admit(
+            make_job(tw=10.0, deadline=10.0 - 1e-9), now=0.0
+        )
+        assert not decision.accepted
+
+
+class TestReleaseAndCancel:
+    def test_release_frees_the_remainder(self):
+        lac = node()
+        decision = lac.admit(make_job(deadline=100.0), now=0.0)
+        lac.release(decision.reservation, at_time=4.0)
+        assert lac.used_at(5.0) == ResourceVector(0, 0)
+
+    def test_release_twice_raises(self):
+        lac = node()
+        decision = lac.admit(make_job(deadline=100.0), now=0.0)
+        lac.cancel(decision.reservation)
+        with pytest.raises(ValueError, match="not active"):
+            lac.release(decision.reservation, at_time=0.0)
+
+    def test_cancel_twice_raises(self):
+        lac = node()
+        decision = lac.admit(make_job(deadline=100.0), now=0.0)
+        lac.cancel(decision.reservation)
+        with pytest.raises(ValueError, match="not active"):
+            lac.cancel(decision.reservation)
+
+    def test_release_after_end_is_a_no_op_on_the_timeline(self):
+        lac = node()
+        decision = lac.admit(make_job(deadline=100.0), now=0.0)
+        lac.release(decision.reservation, at_time=50.0)
+        assert decision.reservation.end == pytest.approx(10.0)
+
+
+class TestReserveWindow:
+    """The fault-recovery re-admission path."""
+
+    def test_books_the_earliest_fit(self):
+        lac = node()
+        reservation = lac.reserve_window(
+            7, ResourceVector(1, 7), 5.0, not_before=2.0
+        )
+        assert reservation is not None
+        assert reservation.job_id == 7
+        assert reservation.start == pytest.approx(2.0)
+        assert reservation.end == pytest.approx(7.0)
+
+    def test_queues_behind_existing_reservations(self):
+        lac = node(cores=1, ways=16)
+        lac.admit(make_job(1, cores=1, deadline=100.0), now=0.0)
+        reservation = lac.reserve_window(
+            2, ResourceVector(1, 7), 5.0, not_before=0.0
+        )
+        assert reservation.start == pytest.approx(10.0)
+
+    def test_respects_latest_end(self):
+        lac = node(cores=1, ways=16)
+        lac.admit(make_job(1, cores=1, deadline=100.0), now=0.0)
+        assert (
+            lac.reserve_window(
+                2, ResourceVector(1, 7), 5.0, not_before=0.0, latest_end=12.0
+            )
+            is None
+        )
+
+    def test_over_capacity_request_returns_none(self):
+        lac = node(cores=4, ways=16)
+        assert (
+            lac.reserve_window(
+                1, ResourceVector(5, 7), 5.0, not_before=0.0
+            )
+            is None
+        )
+
+    def test_failures_count_as_rejections(self):
+        lac = node(cores=4, ways=16)
+        lac.reserve_window(1, ResourceVector(5, 7), 5.0, not_before=0.0)
+        lac.reserve_window(2, ResourceVector(1, 7), 5.0, not_before=0.0)
+        assert lac.stats.rejections == 1
+        assert lac.stats.acceptances == 1
+        assert lac.stats.admission_tests == 2
+
+    def test_unbounded_latest_end_always_fits_eventually(self):
+        lac = node(cores=1, ways=16)
+        lac.admit(make_job(1, cores=1, deadline=100.0), now=0.0)
+        reservation = lac.reserve_window(
+            2,
+            ResourceVector(1, 7),
+            5.0,
+            not_before=0.0,
+            latest_end=math.inf,
+        )
+        assert reservation is not None

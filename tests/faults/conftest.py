@@ -1,0 +1,34 @@
+"""Fixtures for fault-injection tests.
+
+Mirrors ``tests/sim/conftest.py``: hand-built miss-ratio curves so no
+profiling runs and the timing arithmetic stays exactly reproducible —
+which the byte-identity assertions in this package depend on.
+"""
+
+import pytest
+
+from repro.workloads.profiler import MissRatioCurve
+
+
+def linear_curve(name, h2, *, high, low, knee=6):
+    """Miss rate ``high`` at 1 way falling to ``low`` at ``knee`` ways."""
+    points = {}
+    for ways in range(1, 17):
+        if ways >= knee:
+            points[ways] = low
+        else:
+            t = (ways - 1) / (knee - 1)
+            points[ways] = high * (1 - t) + low * t
+    return MissRatioCurve(
+        benchmark=name, l2_accesses_per_instruction=h2, points=points
+    )
+
+
+@pytest.fixture(scope="session")
+def fake_curves():
+    """Deterministic stand-ins for the representatives."""
+    return {
+        "bzip2": linear_curve("bzip2", 0.0275, high=0.60, low=0.18, knee=7),
+        "hmmer": linear_curve("hmmer", 0.0059, high=0.40, low=0.15, knee=3),
+        "gobmk": linear_curve("gobmk", 0.0167, high=0.26, low=0.24, knee=2),
+    }

@@ -4,7 +4,15 @@ import math
 
 import pytest
 
-from repro.sim.engine import EventQueue
+from repro.sim.engine import (
+    RUN_DRAINED,
+    RUN_EVENT_BUDGET,
+    RUN_HORIZON,
+    RUN_STOPPED,
+    RUN_WALL_CLOCK_BUDGET,
+    EventQueue,
+    RunBudget,
+)
 
 
 class TestScheduling:
@@ -125,3 +133,114 @@ class TestRunControls:
             queue.schedule(t, lambda time: None)
         queue.run()
         assert queue.events_fired == 2
+
+
+class TestRunBudgets:
+    def test_event_budget_stops_gracefully(self):
+        queue = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            queue.schedule(t, lambda time: fired.append(time))
+        outcome = queue.run(budget=RunBudget(max_events=2))
+        assert outcome == RUN_EVENT_BUDGET
+        assert fired == [1.0, 2.0]
+
+    def test_budget_is_per_run_call(self):
+        """Each run() call gets a fresh event allowance — the property
+        checkpoint replay relies on."""
+        queue = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0, 4.0):
+            queue.schedule(t, lambda time: fired.append(time))
+        queue.run(budget=RunBudget(max_events=2))
+        outcome = queue.run(budget=RunBudget(max_events=3))
+        assert outcome == RUN_DRAINED
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+
+    def test_zero_event_budget_fires_nothing(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda time: fired.append(time))
+        assert queue.run(budget=RunBudget(max_events=0)) == RUN_EVENT_BUDGET
+        assert fired == []
+
+    def test_zero_wall_clock_budget_stops_immediately(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda time: None)
+        outcome = queue.run(budget=RunBudget(max_wall_seconds=0.0))
+        assert outcome == RUN_WALL_CLOCK_BUDGET
+
+    def test_outcomes_reported(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda time: None)
+        queue.schedule(10.0, lambda time: None)
+        assert queue.run(until=5.0) == RUN_HORIZON
+        assert queue.run(stop_when=lambda: True) == RUN_STOPPED
+        assert queue.run() == RUN_DRAINED
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RunBudget(max_events=-1)
+        with pytest.raises(ValueError):
+            RunBudget(max_wall_seconds=-0.5)
+
+
+class TestHeapCompaction:
+    def test_cancelled_entries_never_dominate_large_heaps(self):
+        """The lazy-cancel leak: cancel-heavy simulations must not grow
+        the raw heap without bound."""
+        queue = EventQueue()
+        live = [queue.schedule(1000.0 + i, lambda t: None) for i in range(70)]
+        for _ in range(5):
+            handles = [
+                queue.schedule(float(i + 1), lambda t: None)
+                for i in range(200)
+            ]
+            for handle in handles:
+                handle.cancel()
+        assert queue.heap_size <= 2 * (len(live) + 1)
+        assert len(queue) == len(live)
+
+    def test_small_heaps_skip_compaction(self):
+        queue = EventQueue()
+        handles = [
+            queue.schedule(float(i + 1), lambda t: None) for i in range(10)
+        ]
+        for handle in handles:
+            handle.cancel()
+        # Below COMPACT_MIN_SIZE the cheap lazy behaviour is kept.
+        assert queue.heap_size == 10
+        assert len(queue) == 0
+
+    def test_compaction_preserves_firing_order(self):
+        queue = EventQueue()
+        fired = []
+        keep = []
+        for i in range(200):
+            handle = queue.schedule(
+                float(i), lambda t: fired.append(t)
+            )
+            if i % 3 == 0:
+                keep.append((float(i), handle))
+            else:
+                handle.cancel()
+        queue.run()
+        assert fired == [t for t, _ in keep]
+
+    def test_cancel_is_idempotent_for_the_counter(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda t: None)
+        handle.cancel()
+        handle.cancel()
+        assert queue._cancelled_in_heap == 1
+
+    def test_popped_entry_cancel_does_not_corrupt_counter(self):
+        queue = EventQueue()
+        captured = {}
+
+        def callback(t):
+            captured["handle"].cancel()
+
+        captured["handle"] = queue.schedule(1.0, callback)
+        queue.run()
+        assert queue._cancelled_in_heap == 0

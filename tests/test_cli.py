@@ -86,3 +86,74 @@ class TestProfileCommand:
 
     def test_profile_rejects_unknown(self, tmp_path, capsys):
         assert main(["profile", "nginx", "--out", str(tmp_path / "x")]) == 2
+
+
+class TestFaultsCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.command == "faults"
+        assert args.workload == "bzip2"
+        assert args.config == "All-Strict"
+        assert args.fault_seed == 7
+        assert args.core_rate == 4.0
+        assert args.stall_rate == 0.0
+        assert args.max_events is None
+        assert args.checkpoint is None
+        assert args.resume is None
+
+    def test_equal_partition_config_is_not_a_choice(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--config", "EqualPart"])
+
+    def test_budget_and_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            [
+                "faults",
+                "Mix-1",
+                "--fault-seed",
+                "11",
+                "--core-rate",
+                "8.0",
+                "--max-events",
+                "150",
+                "--checkpoint",
+                "run.ckpt",
+            ]
+        )
+        assert args.workload == "Mix-1"
+        assert args.fault_seed == 11
+        assert args.core_rate == 8.0
+        assert args.max_events == 150
+        assert args.checkpoint == "run.ckpt"
+
+    def test_resume_flag(self):
+        args = build_parser().parse_args(["faults", "--resume", "run.ckpt"])
+        assert args.resume == "run.ckpt"
+
+    def test_faults_runs_and_reports(self, capsys):
+        assert main(["faults", "--fault-seed", "11", "--core-rate", "8.0"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "successful re-admissions" in out
+        assert "fault downgrades" in out
+        assert "fault timeline digest" in out
+
+    def test_faults_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--max-events",
+                    "150",
+                    "--checkpoint",
+                    str(ckpt),
+                ]
+            )
+            == 0
+        )
+        assert ckpt.exists()
+        capsys.readouterr()
+        assert main(["faults", "--resume", str(ckpt)]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out

@@ -44,6 +44,7 @@ def run_example(name):
         ("bandwidth_qos_demo.py", "bandwidth QoS"),
         ("cluster_planning.py", "Placement policy"),
         ("trace_replay.py", "replayed trace on core 0"),
+        ("fault_injection_demo.py", "successful re-admissions"),
     ],
 )
 def test_example_runs(script, expected):

@@ -1,13 +1,17 @@
 """Tests for argument validation helpers."""
 
+import math
+
 import pytest
 
 from repro.util.validation import (
+    check_finite,
     check_fraction,
     check_in_range,
     check_non_negative,
     check_positive,
     check_power_of_two,
+    check_probability,
 )
 
 
@@ -65,3 +69,52 @@ class TestCheckInRange:
     def test_rejects_outside(self):
         with pytest.raises(ValueError):
             check_in_range("x", 4, 1, 3)
+
+
+class TestCheckFinite:
+    @pytest.mark.parametrize("value", [0, -3, 0.5, 1e300])
+    def test_accepts_and_returns(self, value):
+        assert check_finite("x", value) == value
+
+    @pytest.mark.parametrize("value", [math.nan, math.inf, -math.inf])
+    def test_rejects_non_finite(self, value):
+        with pytest.raises(ValueError, match="x must be a finite number"):
+            check_finite("x", value)
+
+
+class TestNanPoisoningIsBlocked:
+    """NaN compares False against every bound, so the range predicates
+    would silently *pass* a NaN without the explicit finiteness gate."""
+
+    @pytest.mark.parametrize(
+        "helper",
+        [
+            check_positive,
+            check_non_negative,
+            check_fraction,
+            check_probability,
+        ],
+    )
+    def test_nan_rejected_everywhere(self, helper):
+        with pytest.raises(ValueError, match="finite"):
+            helper("x", math.nan)
+
+    def test_nan_rejected_by_range_check(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_in_range("x", math.nan, 0, 1)
+
+    @pytest.mark.parametrize("value", [math.inf, -math.inf])
+    def test_infinities_rejected_too(self, value):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", value)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match=r"p must be in \[0, 1\]"):
+            check_probability("p", value)

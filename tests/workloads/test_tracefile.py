@@ -168,3 +168,43 @@ class TestFileTracePattern:
         assert misses(read_trace(path)) == misses(
             reference.accesses(2000)
         )
+
+
+class TestTraceFormatError:
+    def test_alias_is_the_same_class(self):
+        from repro.workloads.tracefile import TraceFormatError
+
+        assert TraceParseError is TraceFormatError
+
+    def test_error_carries_structured_fields(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("R 0x40\nR zzz\n")
+        with pytest.raises(TraceParseError) as excinfo:
+            list(read_trace(path))
+        error = excinfo.value
+        assert error.line_number == 2
+        assert error.path == path
+        assert "bad address" in error.detail
+        assert str(path) in str(error)
+
+    def test_lenient_skips_bad_lines(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("R 0x40\nnonsense\nW 0x80\nR zzz\n")
+        assert load_trace(path, lenient=True) == [
+            MemoryAccess(0x40, is_write=False),
+            MemoryAccess(0x80, is_write=True),
+        ]
+
+    def test_lenient_collects_skipped_line_numbers(self, tmp_path):
+        path = tmp_path / "mixed.txt"
+        path.write_text("R 0x40\nnonsense\nW 0x80\nR zzz\n")
+        skipped = []
+        accesses = list(read_trace(path, lenient=True, skipped=skipped))
+        assert len(accesses) == 2
+        assert skipped == [2, 4]
+
+    def test_strict_is_the_default(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("nonsense\n")
+        with pytest.raises(TraceParseError, match="line 1"):
+            list(read_trace(path))
