@@ -1,0 +1,267 @@
+#!/usr/bin/env python
+"""Performance trajectory bench for the simulation kernel.
+
+Times the three pieces of the performance layer on a fixed workload:
+
+1. **Kernel** — the same generated trace pushed through the reference
+   object-model L2 and the fast flat-state kernel (accesses/sec each,
+   and the counters are asserted identical while we're at it).
+2. **Parallel executor** — a multi-benchmark profiling sweep run with
+   ``jobs=1`` vs ``jobs=N`` through :func:`parallel_map`.
+3. **Miss-curve cache** — a cold profiling pass vs a warm re-run served
+   from the on-disk store.
+
+Writes ``BENCH_perf.json`` (accesses/sec, speedups, hit rate) so
+successive commits leave a perf trajectory, and exits non-zero when the
+fast kernel loses its edge — CI runs ``--smoke`` so a kernel
+regression fails the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf_kernel.py [--smoke]
+"""
+
+import argparse
+import gc
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis import misscache
+from repro.analysis.parallel import parallel_map, resolve_jobs
+from repro.cache.backend import make_partitioned_cache
+from repro.cache.geometry import CacheGeometry
+from repro.cache.partitioned import PartitionClass
+from repro.util.rng import DeterministicRng
+from repro.workloads.benchmarks import get_benchmark
+from repro.workloads.profiler import (
+    clear_curve_cache,
+    get_curve,
+    profile_benchmark,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmarks spanning the paper's three sensitivity groups.
+SWEEP_BENCHMARKS = ("bzip2", "hmmer", "gobmk", "sjeng")
+
+
+def generate_trace(accesses, num_sets, block_bytes, num_cores, seed=2024):
+    """A deterministic multi-core trace from the bzip2 mixture."""
+    profile = get_benchmark("bzip2")
+    addresses, writes, cores = [], [], []
+    for core in range(num_cores):
+        generator = profile.make_generator()
+        generator.bind(
+            num_sets=num_sets,
+            block_bytes=block_bytes,
+            rng=DeterministicRng(seed, f"bench-core-{core}"),
+            base_address=core << 26,
+        )
+        for address, is_write in generator.address_stream(
+            accesses // num_cores
+        ):
+            addresses.append(address)
+            writes.append(is_write)
+            cores.append(core)
+    return addresses, writes, cores
+
+
+def build_l2(backend, num_sets, block_bytes, num_cores):
+    geometry = CacheGeometry.from_sets(num_sets, 8, block_bytes)
+    l2 = make_partitioned_cache(geometry, num_cores, backend=backend)
+    for core in range(num_cores):
+        l2.set_target(core, 8 // num_cores)
+        l2.set_class(core, PartitionClass.RESERVED)
+    return l2
+
+
+def bench_kernel(accesses, num_sets=512, block_bytes=64, num_cores=4):
+    """Reference vs fast accesses/sec on one trace; counters must match."""
+    trace = generate_trace(accesses, num_sets, block_bytes, num_cores)
+    addresses, writes, cores = trace
+    results = {}
+    counters = {}
+    for backend in ("reference", "fast"):
+        l2 = build_l2(backend, num_sets, block_bytes, num_cores)
+        gc.disable()  # keep collector pauses out of the timed region
+        try:
+            start = time.perf_counter()
+            counters[backend] = l2.access_block(addresses, writes, cores)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        results[f"{backend}_accesses_per_sec"] = round(
+            len(addresses) / elapsed
+        )
+        results[f"{backend}_seconds"] = round(elapsed, 4)
+    if counters["fast"] != counters["reference"]:
+        raise SystemExit(
+            "FAIL: fast kernel counters diverge from reference:\n"
+            f"  reference: {counters['reference']}\n"
+            f"  fast:      {counters['fast']}"
+        )
+    results["accesses"] = len(addresses)
+    results["speedup"] = round(
+        results["fast_accesses_per_sec"]
+        / results["reference_accesses_per_sec"],
+        2,
+    )
+    return results
+
+
+def _profile_point(payload):
+    name, num_sets, accesses = payload
+    curve = profile_benchmark(
+        get_benchmark(name), num_sets=num_sets, accesses=accesses
+    )
+    return name, curve.points
+
+
+def bench_parallel(num_sets, accesses, jobs):
+    """Serial vs parallel sweep over SWEEP_BENCHMARKS; output must match."""
+    payloads = [(name, num_sets, accesses) for name in SWEEP_BENCHMARKS]
+    timings = {}
+    outputs = {}
+    for label, n in (("serial", 1), ("parallel", jobs)):
+        start = time.perf_counter()
+        outputs[label] = parallel_map(_profile_point, payloads, jobs=n)
+        timings[f"{label}_seconds"] = round(time.perf_counter() - start, 4)
+    if outputs["parallel"] != outputs["serial"]:
+        raise SystemExit("FAIL: parallel sweep output differs from serial")
+    timings["jobs"] = jobs
+    timings["points"] = len(payloads)
+    timings["speedup"] = round(
+        timings["serial_seconds"] / max(timings["parallel_seconds"], 1e-9), 2
+    )
+    return timings
+
+
+def bench_misscache(num_sets, accesses):
+    """Cold profiling pass vs warm re-run from the on-disk store."""
+    results = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        misscache.set_cache_dir(tmp)
+        misscache.set_enabled(True)
+        try:
+            for label in ("cold", "warm"):
+                clear_curve_cache()  # drop the in-memory layer
+                misscache.reset_stats()
+                start = time.perf_counter()
+                for name in SWEEP_BENCHMARKS:
+                    get_curve(
+                        get_benchmark(name),
+                        num_sets=num_sets,
+                        accesses=accesses,
+                    )
+                results[f"{label}_seconds"] = round(
+                    time.perf_counter() - start, 4
+                )
+                stats = misscache.stats()
+                lookups = stats["hits"] + stats["misses"]
+                results[f"{label}_hit_rate"] = round(
+                    stats["hits"] / lookups, 3
+                ) if lookups else 0.0
+        finally:
+            misscache.set_cache_dir(None)
+            misscache.set_enabled(None)
+            misscache.reset_stats()
+            clear_curve_cache()
+    results["speedup"] = round(
+        results["cold_seconds"] / max(results["warm_seconds"], 1e-9), 2
+    )
+    return results
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small trace sizes for CI; relaxed speedup threshold",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=0,
+        help="worker count for the parallel section (0 = all cores)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_perf.json",
+        help="where to write the results JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        kernel_accesses, sweep_sets, sweep_accesses = 40_000, 16, 4_000
+        min_speedup = 2.0
+    else:
+        kernel_accesses, sweep_sets, sweep_accesses = 400_000, 64, 40_000
+        min_speedup = 5.0
+    jobs = resolve_jobs(args.jobs)
+    if args.jobs == 0:
+        # Exercise the pool path even on a single-core machine; the
+        # identity check matters there more than the wall-clock number.
+        jobs = max(jobs, 2)
+    jobs = min(jobs, len(SWEEP_BENCHMARKS))
+
+    print(f"kernel: {kernel_accesses} accesses, both backends ...")
+    kernel = bench_kernel(kernel_accesses)
+    print(
+        f"  reference {kernel['reference_accesses_per_sec']:,} acc/s, "
+        f"fast {kernel['fast_accesses_per_sec']:,} acc/s "
+        f"({kernel['speedup']}x, counters identical)"
+    )
+
+    print(f"parallel: {len(SWEEP_BENCHMARKS)}-point sweep, jobs={jobs} ...")
+    parallel = bench_parallel(sweep_sets, sweep_accesses, jobs)
+    print(
+        f"  serial {parallel['serial_seconds']}s, "
+        f"parallel {parallel['parallel_seconds']}s "
+        f"({parallel['speedup']}x, output identical)"
+    )
+
+    print("miss-cache: cold vs warm profiling pass ...")
+    cache = bench_misscache(sweep_sets, sweep_accesses)
+    print(
+        f"  cold {cache['cold_seconds']}s, warm {cache['warm_seconds']}s "
+        f"({cache['speedup']}x, warm hit rate "
+        f"{cache['warm_hit_rate']:.0%})"
+    )
+
+    payload = {
+        "bench": "perf_kernel",
+        "mode": "smoke" if args.smoke else "standard",
+        "cpu_count": os.cpu_count(),
+        "kernel": kernel,
+        "parallel": parallel,
+        "miss_cache": cache,
+    }
+    args.output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if kernel["speedup"] < min_speedup:
+        failures.append(
+            f"fast kernel speedup {kernel['speedup']}x is below the "
+            f"{min_speedup}x floor"
+        )
+    if cache["warm_hit_rate"] < 0.5:
+        failures.append(
+            f"warm miss-cache hit rate {cache['warm_hit_rate']:.0%} "
+            "is below 50%"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,301 @@
+"""Content-addressed on-disk store for miss-ratio curves.
+
+Profiling one benchmark means driving ~55k synthetic accesses through a
+real cache at sixteen way counts — and Fig. 4/5/9 sweeps and the LAC
+admission search revisit the same (benchmark, geometry, seed) points
+constantly, across processes and across runs.  This module memoises the
+resulting :class:`~repro.workloads.profiler.MissRatioCurve` objects on
+disk, keyed by a SHA-256 digest of everything the curve is a pure
+function of:
+
+- the full benchmark profile (name, mixture components, CPI parameters,
+  write fraction — via ``dataclasses.asdict``),
+- the profiling cache geometry (sets, block bytes) and way list,
+- trace length (warmup + measured accesses) and the RNG seed,
+- a fingerprint of the source code of every module the curve's values
+  depend on, so editing the trace generators or the cache kernel
+  invalidates all stored curves instead of silently serving stale ones.
+
+The key deliberately excludes the cache backend: reference and fast
+produce identical curves (pinned by the differential suite), so a curve
+profiled under either is valid for both.
+
+Entries are atomic single-JSON files named ``<digest>.json``; writes go
+through a temp file + ``os.replace`` so concurrent workers never
+observe partial entries.  The store is enabled by default; disable with
+:func:`set_enabled` or the ``REPRO_MISS_CACHE`` environment variable
+(``0``/``off`` — the CLI's ``--no-miss-cache``).  Hit/miss/store
+counters are surfaced by :func:`stats` and rendered by
+``analysis/report.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, Optional
+
+from repro.workloads.benchmarks import BenchmarkProfile
+from repro.workloads.profiler import (
+    MissRatioCurve,
+    curve_from_dict,
+    curve_to_dict,
+)
+
+_ENV_DIR = "REPRO_MISS_CACHE_DIR"
+_ENV_ENABLED = "REPRO_MISS_CACHE"
+
+_cache_dir: Optional[Path] = None
+_enabled: Optional[bool] = None  # None = follow the environment
+_fingerprint: Optional[str] = None
+
+#: Process-wide counters: disk hits, disk misses, entries written.
+_counters = {"hits": 0, "misses": 0, "stores": 0}
+
+
+# -- configuration -----------------------------------------------------------
+
+
+def cache_dir() -> Path:
+    """Directory holding the curve store (created lazily on store)."""
+    if _cache_dir is not None:
+        return _cache_dir
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-qos" / "miss-curves"
+
+
+def set_cache_dir(path: Optional[os.PathLike]) -> None:
+    """Override the store directory (``None`` restores the default).
+
+    Mirrors into ``REPRO_MISS_CACHE_DIR`` so multiprocessing workers
+    share the same store.
+    """
+    global _cache_dir
+    _cache_dir = Path(path) if path is not None else None
+    if path is None:
+        os.environ.pop(_ENV_DIR, None)
+    else:
+        os.environ[_ENV_DIR] = str(path)
+
+
+def enabled() -> bool:
+    """Whether load/store are active."""
+    if _enabled is not None:
+        return _enabled
+    return os.environ.get(_ENV_ENABLED, "1").lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force the store on/off (``None`` restores env-var control).
+
+    Mirrors into ``REPRO_MISS_CACHE`` so multiprocessing workers agree.
+    """
+    global _enabled
+    _enabled = value
+    if value is None:
+        os.environ.pop(_ENV_ENABLED, None)
+    else:
+        os.environ[_ENV_ENABLED] = "1" if value else "0"
+
+
+# -- statistics --------------------------------------------------------------
+
+
+def stats() -> Dict[str, int]:
+    """Copy of the process-wide hit/miss/store counters."""
+    return dict(_counters)
+
+
+def reset_stats() -> None:
+    """Zero the counters (test isolation / per-report accounting)."""
+    for key in _counters:
+        _counters[key] = 0
+
+
+# -- keying ------------------------------------------------------------------
+
+#: Modules whose source determines curve values.  Editing any of them
+#: changes the fingerprint and orphans previously stored entries.
+_FINGERPRINT_MODULES = (
+    "repro.cache.basic",
+    "repro.cache.fastsim",
+    "repro.cache.geometry",
+    "repro.cache.replacement",
+    "repro.util.rng",
+    "repro.workloads.benchmarks",
+    "repro.workloads.patterns",
+    "repro.workloads.profiler",
+)
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over the source of every curve-determining module."""
+    global _fingerprint
+    if _fingerprint is None:
+        import importlib
+
+        digest = hashlib.sha256()
+        for module_name in _FINGERPRINT_MODULES:
+            module = importlib.import_module(module_name)
+            digest.update(module_name.encode())
+            digest.update(inspect.getsource(module).encode())
+        _fingerprint = digest.hexdigest()
+    return _fingerprint
+
+
+def curve_key(
+    profile: BenchmarkProfile,
+    *,
+    num_sets: int,
+    block_bytes: int,
+    accesses: int,
+    seed: int,
+    warmup: int = 15_000,
+    ways_list: Iterable[int] = tuple(range(1, 17)),
+) -> str:
+    """Content digest identifying one profiling configuration."""
+    payload = {
+        "profile": dataclasses.asdict(profile),
+        "num_sets": num_sets,
+        "block_bytes": block_bytes,
+        "accesses": accesses,
+        "warmup": warmup,
+        "ways_list": list(ways_list),
+        "seed": seed,
+        "code": code_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# -- load / store ------------------------------------------------------------
+
+
+def load_curve(
+    profile: BenchmarkProfile,
+    *,
+    num_sets: int,
+    block_bytes: int,
+    accesses: int,
+    seed: int,
+) -> Optional[MissRatioCurve]:
+    """Return the stored curve for this configuration, or ``None``.
+
+    A corrupt entry (truncated write from a killed process, manual
+    editing) counts as a miss and is deleted so it gets re-profiled.
+    """
+    if not enabled():
+        return None
+    key = curve_key(
+        profile,
+        num_sets=num_sets,
+        block_bytes=block_bytes,
+        accesses=accesses,
+        seed=seed,
+    )
+    path = cache_dir() / f"{key}.json"
+    try:
+        payload = json.loads(path.read_text())
+        curve = curve_from_dict(payload["curve"])
+    except FileNotFoundError:
+        _counters["misses"] += 1
+        return None
+    except (ValueError, KeyError, OSError):
+        _counters["misses"] += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+    _counters["hits"] += 1
+    return curve
+
+
+def store_curve(
+    curve: MissRatioCurve,
+    profile: BenchmarkProfile,
+    *,
+    num_sets: int,
+    block_bytes: int,
+    accesses: int,
+    seed: int,
+) -> Optional[Path]:
+    """Persist ``curve`` for this configuration; return its path.
+
+    The write is atomic (temp file + rename) so a concurrent reader
+    either sees the complete entry or none.  Returns ``None`` when the
+    store is disabled or the directory is unwritable — memoisation is
+    an optimisation, never a hard dependency.
+    """
+    if not enabled():
+        return None
+    key = curve_key(
+        profile,
+        num_sets=num_sets,
+        block_bytes=block_bytes,
+        accesses=accesses,
+        seed=seed,
+    )
+    directory = cache_dir()
+    path = directory / f"{key}.json"
+    payload = {
+        "benchmark": profile.name,
+        "num_sets": num_sets,
+        "block_bytes": block_bytes,
+        "accesses": accesses,
+        "seed": seed,
+        "curve": curve_to_dict(curve),
+    }
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(directory), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return None
+    _counters["stores"] += 1
+    return path
+
+
+def clear() -> int:
+    """Delete every stored entry; return how many were removed."""
+    directory = cache_dir()
+    removed = 0
+    if directory.is_dir():
+        for entry in directory.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def entry_count() -> int:
+    """Number of entries currently on disk."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    return sum(1 for _ in directory.glob("*.json"))

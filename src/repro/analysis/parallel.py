@@ -1,0 +1,90 @@
+"""Multiprocessing map over independent simulation points.
+
+Every analysis driver runs the same shape of loop: N independent
+(benchmark × configuration × seed) points, each a pure function of its
+inputs.  parti-gem5 (PAPERS.md) exploits exactly this partition-level
+parallelism; here it is one helper, :func:`parallel_map`, used by
+``analysis/runner.py``, ``analysis/sweeps.py`` and
+``analysis/sensitivity.py`` behind a ``jobs=`` parameter (the CLI's
+``--jobs N``).
+
+Guarantees:
+
+- **Deterministic ordering** — results come back in input order
+  regardless of worker scheduling (``Pool.map`` semantics), so a
+  parallel run's output is identical to the serial run's.
+- **Graceful serial fallback** — ``jobs=1`` (the default) never touches
+  ``multiprocessing``: the work runs inline, exceptions propagate
+  naturally, and debuggers/profilers see one process.
+- **Deterministic seeding** — existing entry points keep their
+  per-point seed semantics (a point's seed must not depend on how many
+  workers ran it); new fan-outs derive per-point seeds with
+  :func:`point_seed`, which hashes (parent seed, point label) via
+  :func:`repro.util.rng.derive_seed`.
+
+Workers must be module-level functions and their payloads picklable
+(spawn-safe — the macOS/Windows default start method).  Session state
+that lives in environment variables (the cache-backend default, the
+miss-cache directory and enable flag) is inherited by workers under
+both fork and spawn because the setters mirror into ``os.environ``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.util.rng import derive_seed
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` request to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``0`` and negative values mean "all
+    cores" (like ``make -j``); anything else is used as given.
+    """
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def point_seed(parent_seed: int, label: object) -> int:
+    """Derive the seed for one sweep point from the run's parent seed.
+
+    Stable in the point's identity (its label, e.g. an index or a
+    benchmark name) and independent of execution order or worker
+    count, so serial and parallel runs of the same sweep simulate
+    byte-identical points.
+    """
+    return derive_seed(parent_seed, f"point-{label}")
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    jobs: Optional[int] = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Map ``func`` over ``items``, optionally across processes.
+
+    With ``jobs=1`` this is ``[func(item) for item in items]``.  With
+    more jobs a ``multiprocessing.Pool`` runs the map; ``func`` must be
+    a module-level function and every item picklable.  Results are
+    always in input order.  Worker counts are capped at ``len(items)``
+    — there is no point forking more processes than points.
+    """
+    worker_count = resolve_jobs(jobs)
+    items = list(items)
+    if worker_count <= 1 or len(items) <= 1:
+        return [func(item) for item in items]
+    worker_count = min(worker_count, len(items))
+    import multiprocessing
+
+    with multiprocessing.Pool(worker_count) as pool:
+        return pool.map(func, items, chunksize=chunksize)

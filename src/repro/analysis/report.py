@@ -185,6 +185,28 @@ def sensitivity_table(
     )
 
 
+def miss_cache_lines() -> List[str]:
+    """Miss-curve store accounting for bench logs and CLI footers.
+
+    Reports this process's hit/miss/store counters against the
+    on-disk store (:mod:`repro.analysis.misscache`).  Empty when the
+    store is disabled and was never consulted — callers can append the
+    lines unconditionally.
+    """
+    from repro.analysis import misscache
+
+    counters = misscache.stats()
+    consulted = counters["hits"] + counters["misses"]
+    if consulted == 0:
+        return []
+    hit_rate = counters["hits"] / consulted
+    return [
+        f"miss-curve cache: {counters['hits']}/{consulted} curve lookups "
+        f"served from disk ({hit_rate:.0%}), {counters['stores']} stored, "
+        f"{misscache.entry_count()} entries on disk",
+    ]
+
+
 def summary_lines(results: Dict[str, SystemResult]) -> List[str]:
     """Compact per-configuration one-liners for bench logs."""
     normalised = normalised_throughputs(results) if "All-Strict" in results else {}

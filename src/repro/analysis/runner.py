@@ -9,8 +9,9 @@ cache so every entry point measures identically.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
+from repro.analysis.parallel import parallel_map
 from repro.core.config import CONFIGURATIONS, ModeMixConfig
 from repro.faults.model import FaultConfig
 from repro.sim.config import MachineConfig, SimulationConfig
@@ -81,6 +82,30 @@ def _workload_for(
     )
 
 
+def _configuration_worker(payload: Tuple) -> Tuple[str, SystemResult]:
+    """Run one configuration point (module-level for picklability)."""
+    (
+        name,
+        benchmark_or_mix,
+        count,
+        seed,
+        machine,
+        sim_config,
+        curves,
+        record_trace,
+    ) = payload
+    workload = _workload_for(
+        benchmark_or_mix, CONFIGURATIONS[name], count=count, seed=seed
+    )
+    return name, run_configuration(
+        workload,
+        machine=machine,
+        sim_config=sim_config,
+        curves=curves,
+        record_trace=record_trace,
+    )
+
+
 def run_all_configurations(
     benchmark_or_mix: str,
     *,
@@ -91,31 +116,35 @@ def run_all_configurations(
     sim_config: Optional[SimulationConfig] = None,
     curves: Optional[Dict[str, MissRatioCurve]] = None,
     record_trace: bool = False,
+    jobs: Optional[int] = 1,
 ) -> Dict[str, SystemResult]:
     """Run a benchmark (or Table 3 mix) under every Table 2 configuration.
 
     Deadline draws share the seed across configurations, as in the
-    paper's methodology.
+    paper's methodology.  ``jobs`` runs the configurations across that
+    many processes (:mod:`repro.analysis.parallel`); each point's seed
+    is fixed by the call, so parallel results are identical to serial.
     """
     names = (
         list(configurations)
         if configurations is not None
         else list(CONFIGURATIONS)
     )
-    results: Dict[str, SystemResult] = {}
-    for name in names:
-        configuration = CONFIGURATIONS[name]
-        workload = _workload_for(
-            benchmark_or_mix, configuration, count=count, seed=seed
+    payloads = [
+        (
+            name,
+            benchmark_or_mix,
+            count,
+            seed,
+            machine,
+            sim_config,
+            curves,
+            record_trace,
         )
-        results[name] = run_configuration(
-            workload,
-            machine=machine,
-            sim_config=sim_config,
-            curves=curves,
-            record_trace=record_trace,
-        )
-    return results
+        for name in names
+    ]
+    pairs = parallel_map(_configuration_worker, payloads, jobs=jobs)
+    return dict(pairs)
 
 
 def normalised_throughputs(

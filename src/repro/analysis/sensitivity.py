@@ -12,8 +12,9 @@ suffered when the L2 allocation shrinks from 7 ways to 1 way, and from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.analysis.parallel import parallel_map
 from repro.workloads.benchmarks import BENCHMARKS, BenchmarkProfile
 from repro.workloads.profiler import MissRatioCurve, get_curve
 
@@ -48,10 +49,13 @@ def sensitivity_point(
     curve: Optional[MissRatioCurve] = None,
     num_sets: int = 64,
     accesses: int = 40_000,
+    backend: Optional[str] = None,
 ) -> SensitivityPoint:
     """Measure one benchmark's Figure 4 coordinates from its curve."""
     if curve is None:
-        curve = get_curve(profile, num_sets=num_sets, accesses=accesses)
+        curve = get_curve(
+            profile, num_sets=num_sets, accesses=accesses, backend=backend
+        )
     cpi_model = profile.cpi_model()
     return SensitivityPoint(
         benchmark=profile.name,
@@ -65,20 +69,36 @@ def sensitivity_point(
     )
 
 
+def _sensitivity_worker(payload: Tuple) -> SensitivityPoint:
+    """Profile one benchmark's point (module-level for pickling)."""
+    name, num_sets, accesses, backend = payload
+    return sensitivity_point(
+        BENCHMARKS[name],
+        num_sets=num_sets,
+        accesses=accesses,
+        backend=backend,
+    )
+
+
 def sensitivity_points(
     benchmarks: Optional[Iterable[str]] = None,
     *,
     num_sets: int = 64,
     accesses: int = 40_000,
+    backend: Optional[str] = None,
+    jobs: Optional[int] = 1,
 ) -> List[SensitivityPoint]:
-    """Figure 4 coordinates for the given (default: all 15) benchmarks."""
+    """Figure 4 coordinates for the given (default: all 15) benchmarks.
+
+    ``jobs`` profiles benchmarks across processes; every point is a
+    pure function of its (benchmark, geometry, seed) inputs, so the
+    scatter is identical to a serial run.  Workers and the parent share
+    the on-disk miss-curve store, so a parallel profiling pass warms
+    the cache for everyone.
+    """
     names = sorted(benchmarks) if benchmarks is not None else sorted(BENCHMARKS)
-    return [
-        sensitivity_point(
-            BENCHMARKS[name], num_sets=num_sets, accesses=accesses
-        )
-        for name in names
-    ]
+    payloads = [(name, num_sets, accesses, backend) for name in names]
+    return parallel_map(_sensitivity_worker, payloads, jobs=jobs)
 
 
 def classify_benchmarks(

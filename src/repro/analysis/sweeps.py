@@ -15,8 +15,9 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.parallel import parallel_map
 from repro.cache.geometry import CacheGeometry
 from repro.core.cluster import ClusterJobProfile, ClusterSimulator
 from repro.core.config import ModeMixConfig
@@ -38,50 +39,60 @@ class SlackPoint:
     deadline_hit_rate: float
 
 
+def _slack_worker(payload: Tuple) -> SlackPoint:
+    """Simulate one Figure 8 slack point (module-level for pickling)."""
+    slack, benchmark, curves, sim_config = payload
+    config = ModeMixConfig(
+        name=f"Hybrid-2(X={slack:.0%})",
+        strict_fraction=0.4,
+        elastic_fraction=0.3,
+        opportunistic_fraction=0.3,
+        elastic_slack=slack,
+    )
+    workload = single_benchmark_workload(benchmark, config)
+    result = run_configuration(
+        workload,
+        sim_config=sim_config,
+        curves=curves,
+        record_trace=False,
+    )
+    elastic = [
+        j.wall_clock_time
+        for j in result.jobs
+        if j.requested_mode.kind is ModeKind.ELASTIC
+    ]
+    opportunistic = [
+        j.wall_clock_time
+        for j in result.jobs
+        if j.requested_mode.kind is ModeKind.OPPORTUNISTIC
+    ]
+    return SlackPoint(
+        slack=slack,
+        elastic_mean_wall_clock=statistics.mean(elastic),
+        opportunistic_mean_wall_clock=statistics.mean(opportunistic),
+        steal_transfers=result.steal_transfers,
+        deadline_hit_rate=result.deadline_report.hit_rate,
+    )
+
+
 def sweep_elastic_slack(
     benchmark: str,
     slacks: Sequence[float],
     *,
     curves: Optional[Dict[str, MissRatioCurve]] = None,
     sim_config: Optional[SimulationConfig] = None,
+    jobs: Optional[int] = 1,
 ) -> List[SlackPoint]:
-    """Run Hybrid-2 with each slack X; collect the Figure 8 series."""
-    points = []
-    for slack in slacks:
-        config = ModeMixConfig(
-            name=f"Hybrid-2(X={slack:.0%})",
-            strict_fraction=0.4,
-            elastic_fraction=0.3,
-            opportunistic_fraction=0.3,
-            elastic_slack=slack,
-        )
-        workload = single_benchmark_workload(benchmark, config)
-        result = run_configuration(
-            workload,
-            sim_config=sim_config,
-            curves=curves,
-            record_trace=False,
-        )
-        elastic = [
-            j.wall_clock_time
-            for j in result.jobs
-            if j.requested_mode.kind is ModeKind.ELASTIC
-        ]
-        opportunistic = [
-            j.wall_clock_time
-            for j in result.jobs
-            if j.requested_mode.kind is ModeKind.OPPORTUNISTIC
-        ]
-        points.append(
-            SlackPoint(
-                slack=slack,
-                elastic_mean_wall_clock=statistics.mean(elastic),
-                opportunistic_mean_wall_clock=statistics.mean(opportunistic),
-                steal_transfers=result.steal_transfers,
-                deadline_hit_rate=result.deadline_report.hit_rate,
-            )
-        )
-    return points
+    """Run Hybrid-2 with each slack X; collect the Figure 8 series.
+
+    ``jobs`` distributes the slack points across processes; every
+    point's inputs are fixed by the call, so the series is identical
+    to a serial run.
+    """
+    payloads = [
+        (slack, benchmark, curves, sim_config) for slack in slacks
+    ]
+    return parallel_map(_slack_worker, payloads, jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -94,6 +105,38 @@ class CacheSizePoint:
     deadline_hit_rate: float
 
 
+def _cache_size_worker(payload: Tuple) -> CacheSizePoint:
+    """Simulate one cache-capacity point (module-level for pickling)."""
+    (
+        ways,
+        benchmark,
+        configuration,
+        curves,
+        sim_config,
+        requested_fraction,
+    ) = payload
+    machine = MachineConfig(
+        l2_geometry=CacheGeometry.from_sets(2048, ways, 64)
+    )
+    requested = max(1, round(ways * requested_fraction))
+    workload = single_benchmark_workload(
+        benchmark, configuration, requested_ways=requested
+    )
+    result = run_configuration(
+        workload,
+        machine=machine,
+        sim_config=sim_config,
+        curves=curves,
+        record_trace=False,
+    )
+    return CacheSizePoint(
+        l2_ways=ways,
+        l2_bytes=machine.l2_geometry.size_bytes,
+        makespan_cycles=result.makespan_cycles,
+        deadline_hit_rate=result.deadline_report.hit_rate,
+    )
+
+
 def sweep_cache_size(
     benchmark: str,
     way_counts: Sequence[int],
@@ -102,43 +145,26 @@ def sweep_cache_size(
     curves: Optional[Dict[str, MissRatioCurve]] = None,
     sim_config: Optional[SimulationConfig] = None,
     requested_fraction: float = 7 / 16,
+    jobs: Optional[int] = 1,
 ) -> List[CacheSizePoint]:
     """Scale the L2 (way count at 128 KB/way) and rerun the workload.
 
     Jobs keep requesting the same *fraction* of the cache the paper's
     jobs do (7/16), so the admission pattern (two-at-a-time) is
-    preserved while per-job capacity grows or shrinks.
+    preserved while per-job capacity grows or shrinks.  ``jobs``
+    distributes the capacity points across processes.
     """
     from repro.core.config import ALL_STRICT
 
     configuration = configuration if configuration is not None else ALL_STRICT
-    points = []
     for ways in way_counts:
         if ways < 2:
             raise ValueError(f"need at least 2 ways, got {ways}")
-        machine = MachineConfig(
-            l2_geometry=CacheGeometry.from_sets(2048, ways, 64)
-        )
-        requested = max(1, round(ways * requested_fraction))
-        workload = single_benchmark_workload(
-            benchmark, configuration, requested_ways=requested
-        )
-        result = run_configuration(
-            workload,
-            machine=machine,
-            sim_config=sim_config,
-            curves=curves,
-            record_trace=False,
-        )
-        points.append(
-            CacheSizePoint(
-                l2_ways=ways,
-                l2_bytes=machine.l2_geometry.size_bytes,
-                makespan_cycles=result.makespan_cycles,
-                deadline_hit_rate=result.deadline_report.hit_rate,
-            )
-        )
-    return points
+    payloads = [
+        (ways, benchmark, configuration, curves, sim_config, requested_fraction)
+        for ways in way_counts
+    ]
+    return parallel_map(_cache_size_worker, payloads, jobs=jobs)
 
 
 @dataclass(frozen=True)
@@ -150,6 +176,22 @@ class LoadPoint:
     mean_load: float
 
 
+def _arrival_rate_worker(payload: Tuple) -> LoadPoint:
+    """Simulate one offered-load point (module-level for pickling)."""
+    interarrival, profiles, num_nodes, horizon, seed = payload
+    report = ClusterSimulator(
+        num_nodes=num_nodes,
+        profiles=list(profiles),
+        mean_interarrival=interarrival,
+        seed=seed,
+    ).run(horizon=horizon)
+    return LoadPoint(
+        mean_interarrival=interarrival,
+        acceptance_rate=report.acceptance_rate,
+        mean_load=report.mean_load,
+    )
+
+
 def sweep_arrival_rate(
     profiles: Sequence[ClusterJobProfile],
     interarrivals: Sequence[float],
@@ -157,21 +199,16 @@ def sweep_arrival_rate(
     num_nodes: int = 4,
     horizon: float = 40.0,
     seed: int = 42,
+    jobs: Optional[int] = 1,
 ) -> List[LoadPoint]:
-    """Cluster acceptance as the offered load grows."""
-    points = []
-    for interarrival in interarrivals:
-        report = ClusterSimulator(
-            num_nodes=num_nodes,
-            profiles=list(profiles),
-            mean_interarrival=interarrival,
-            seed=seed,
-        ).run(horizon=horizon)
-        points.append(
-            LoadPoint(
-                mean_interarrival=interarrival,
-                acceptance_rate=report.acceptance_rate,
-                mean_load=report.mean_load,
-            )
-        )
-    return points
+    """Cluster acceptance as the offered load grows.
+
+    Every point reuses the same ``seed`` (matching the serial
+    behaviour), so acceptance differences across points reflect only
+    the offered load; ``jobs`` distributes points across processes.
+    """
+    payloads = [
+        (interarrival, tuple(profiles), num_nodes, horizon, seed)
+        for interarrival in interarrivals
+    ]
+    return parallel_map(_arrival_rate_worker, payloads, jobs=jobs)

@@ -18,9 +18,31 @@ relies on, from scratch:
 - :mod:`repro.cache.shadow` — duplicate (shadow) tag arrays with set
   sampling, the microarchitecture support for resource stealing
   (Section 4.3).
+- :mod:`repro.cache.fastsim` — flat-state fast twins of the basic and
+  partitioned caches (LRU only), counter-identical to the reference
+  implementations but without per-access object allocation.
+- :mod:`repro.cache.backend` — the ``reference``/``fast`` backend
+  selector all construction sites go through.
 """
 
-from repro.cache.basic import AccessResult, SetAssociativeCache
+from repro.cache.backend import (
+    BACKENDS,
+    default_backend,
+    make_cache,
+    make_partitioned_cache,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.cache.basic import (
+    HIT,
+    AccessResult,
+    BatchCounters,
+    SetAssociativeCache,
+)
+from repro.cache.fastsim import (
+    FastSetAssociativeCache,
+    FastWayPartitionedCache,
+)
 from repro.cache.geometry import CacheGeometry
 from repro.cache.global_partition import GlobalPartitionedCache
 from repro.cache.partitioned import PartitionClass, WayPartitionedCache
@@ -31,7 +53,11 @@ from repro.cache.stats import CacheStats
 __all__ = [
     "CacheGeometry",
     "SetAssociativeCache",
+    "FastSetAssociativeCache",
+    "FastWayPartitionedCache",
     "AccessResult",
+    "BatchCounters",
+    "HIT",
     "WayPartitionedCache",
     "PartitionClass",
     "GlobalPartitionedCache",
@@ -40,4 +66,10 @@ __all__ = [
     "LruPolicy",
     "FifoPolicy",
     "RandomPolicy",
+    "BACKENDS",
+    "default_backend",
+    "set_default_backend",
+    "resolve_backend",
+    "make_cache",
+    "make_partitioned_cache",
 ]

@@ -12,21 +12,41 @@ cache returns hit/miss plus any eviction, without modelling data values.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from itertools import repeat
+from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import ReplacementPolicy, make_policy
 from repro.cache.stats import CacheStats
 
 
-@dataclass
 class CacheLine:
-    """One tag-array entry."""
+    """One tag-array entry.
 
-    valid: bool = False
-    tag: int = 0
-    dirty: bool = False
-    core_id: int = -1
+    A plain ``__slots__`` class rather than a dataclass: a 2 MB L2 has
+    32k lines and every trace access reads several of their attributes,
+    so the per-instance dict is pure overhead.
+    """
+
+    __slots__ = ("valid", "tag", "dirty", "core_id")
+
+    def __init__(
+        self,
+        valid: bool = False,
+        tag: int = 0,
+        dirty: bool = False,
+        core_id: int = -1,
+    ) -> None:
+        self.valid = valid
+        self.tag = tag
+        self.dirty = dirty
+        self.core_id = core_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheLine(valid={self.valid}, tag={self.tag:#x}, "
+            f"dirty={self.dirty}, core_id={self.core_id})"
+        )
 
 
 @dataclass(frozen=True)
@@ -51,6 +71,45 @@ class AccessResult:
     evicted_address: Optional[int] = None
     writeback: bool = False
     victim_core: Optional[int] = None
+
+
+#: Shared result for the (overwhelmingly common) hit outcome.  Hits carry
+#: no victim information, so every hit is observationally identical and
+#: all access paths return this one frozen instance instead of
+#: allocating a fresh ``AccessResult`` per hit.
+HIT = AccessResult(hit=True)
+
+
+@dataclass(frozen=True)
+class BatchCounters:
+    """Counter deltas accumulated over one :meth:`access_block` call."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses / accesses over the batch (0.0 for an empty batch)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+WriteSpec = Union[bool, Sequence[bool]]
+CoreSpec = Union[int, Sequence[int]]
+
+
+def _broadcast_writes(is_write: WriteSpec) -> Iterable[bool]:
+    if isinstance(is_write, (bool, int)):
+        return repeat(bool(is_write))
+    return is_write
+
+
+def _broadcast_cores(core_ids: CoreSpec) -> Iterable[int]:
+    if isinstance(core_ids, int):
+        return repeat(core_ids)
+    return core_ids
 
 
 class SetAssociativeCache:
@@ -91,7 +150,7 @@ class SetAssociativeCache:
                     line.dirty = True
                 line.core_id = core_id
                 self.stats.record_access(core_id, hit=True)
-                return AccessResult(hit=True)
+                return HIT
 
         # Miss: fill, evicting if the set is full.
         self.stats.record_access(core_id, hit=False)
@@ -123,6 +182,41 @@ class SetAssociativeCache:
             evicted_address=evicted_address,
             writeback=writeback,
             victim_core=victim_core,
+        )
+
+    def access_block(
+        self,
+        addresses: Sequence[int],
+        is_write: WriteSpec = False,
+        core_ids: CoreSpec = 0,
+    ) -> BatchCounters:
+        """Present a batch of accesses; return the batch's counter deltas.
+
+        ``is_write`` and ``core_ids`` may be scalars (broadcast over the
+        batch) or per-access sequences.  The batch is exactly equivalent
+        to calling :meth:`access` once per element; the fast backend
+        overrides this with an allocation-free kernel.
+        """
+        hits = misses = evictions = writebacks = 0
+        access = self.access
+        for address, write, core_id in zip(
+            addresses, _broadcast_writes(is_write), _broadcast_cores(core_ids)
+        ):
+            result = access(address, is_write=write, core_id=core_id)
+            if result.hit:
+                hits += 1
+            else:
+                misses += 1
+                if result.evicted_address is not None:
+                    evictions += 1
+                if result.writeback:
+                    writebacks += 1
+        return BatchCounters(
+            accesses=hits + misses,
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            writebacks=writebacks,
         )
 
     # -- inspection and maintenance -----------------------------------------

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.cache.basic import AccessResult, CacheLine
+from repro.cache.basic import HIT, AccessResult, CacheLine
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import LruPolicy
 from repro.cache.stats import CacheStats
@@ -112,7 +112,7 @@ class GlobalPartitionedCache:
                 if is_write:
                     line.dirty = True
                 self.stats.record_access(core_id, hit=True)
-                return AccessResult(hit=True)
+                return HIT
 
         self.stats.record_access(core_id, hit=False)
 

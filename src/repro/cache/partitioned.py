@@ -26,7 +26,16 @@ import enum
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.cache.basic import AccessResult, CacheLine
+from repro.cache.basic import (
+    HIT,
+    AccessResult,
+    BatchCounters,
+    CacheLine,
+    CoreSpec,
+    WriteSpec,
+    _broadcast_cores,
+    _broadcast_writes,
+)
 from repro.cache.geometry import CacheGeometry
 from repro.cache.replacement import LruPolicy
 from repro.cache.stats import CacheStats
@@ -215,7 +224,7 @@ class WayPartitionedCache:
                 if is_write:
                     line.dirty = True
                 self.stats.record_access(core_id, hit=True)
-                return AccessResult(hit=True)
+                return HIT
 
         self.stats.record_access(core_id, hit=False)
 
@@ -253,6 +262,40 @@ class WayPartitionedCache:
             evicted_address=evicted_address,
             writeback=writeback,
             victim_core=victim_core,
+        )
+
+    def access_block(
+        self,
+        addresses: Sequence[int],
+        is_write: WriteSpec = False,
+        core_ids: CoreSpec = 0,
+    ) -> BatchCounters:
+        """Present a batch of accesses; return the batch's counter deltas.
+
+        Scalar ``is_write``/``core_ids`` broadcast over the batch.
+        Equivalent to calling :meth:`access` per element; the fast
+        backend overrides this with an allocation-free kernel.
+        """
+        hits = misses = evictions = writebacks = 0
+        access = self.access
+        for address, write, core_id in zip(
+            addresses, _broadcast_writes(is_write), _broadcast_cores(core_ids)
+        ):
+            result = access(core_id, address, is_write=write)
+            if result.hit:
+                hits += 1
+            else:
+                misses += 1
+                if result.evicted_address is not None:
+                    evictions += 1
+                if result.writeback:
+                    writebacks += 1
+        return BatchCounters(
+            accesses=hits + misses,
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            writebacks=writebacks,
         )
 
     # -- victim selection (Section 4.1) ---------------------------------------

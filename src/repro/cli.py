@@ -21,11 +21,14 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.analysis import misscache
 from repro.analysis.export import results_to_dict, write_json
 from repro.analysis.gantt import render_gantt
+from repro.analysis.parallel import parallel_map
 from repro.analysis.report import (
     deadline_table,
     downgrade_ladder_lines,
+    miss_cache_lines,
     resilience_table,
     sensitivity_table,
     throughput_table,
@@ -34,6 +37,7 @@ from repro.analysis.report import (
 )
 from repro.analysis.runner import run_all_configurations
 from repro.analysis.sensitivity import sensitivity_points
+from repro.cache.backend import BACKENDS, set_default_backend
 from repro.core.config import CONFIGURATIONS
 from repro.faults import (
     FaultConfig,
@@ -86,19 +90,25 @@ def _cmd_fig1(_: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_fig4(_: argparse.Namespace) -> int:
+def _cmd_fig4(args: argparse.Namespace) -> int:
     print("profiling all fifteen benchmarks …", file=sys.stderr)
-    points = sensitivity_points()
+    points = sensitivity_points(jobs=args.jobs)
     print(sensitivity_table(points, title="Figure 4 — sensitivity"))
+    for line in miss_cache_lines():
+        print(line)
     return 0
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
     curves = load_curves(args.curves) if args.curves else None
-    results = run_all_configurations(args.workload, curves=curves)
+    results = run_all_configurations(
+        args.workload, curves=curves, jobs=args.jobs
+    )
     print(deadline_table(results, title=f"Figure 5a — {args.workload}"))
     print()
     print(throughput_table(results, title=f"Figure 5b — {args.workload}"))
+    for line in miss_cache_lines():
+        print(line)
     if args.json:
         path = write_json(results_to_dict(results), args.json)
         print(f"\nwrote {path}")
@@ -106,7 +116,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
-    results = run_all_configurations(args.workload)
+    results = run_all_configurations(args.workload, jobs=args.jobs)
     for config, result in results.items():
         print(wall_clock_table(result, title=f"Figure 6 — {config}"))
         print()
@@ -118,6 +128,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         args.workload,
         configurations=["All-Strict", "All-Strict+AutoDown"],
         record_trace=True,
+        jobs=args.jobs,
     )
     for config, result in results.items():
         print(f"Figure 7 — {config}")
@@ -150,6 +161,11 @@ def _cmd_curves(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profile_worker(name: str):
+    """Profile one benchmark (module-level so ``--jobs`` can pickle it)."""
+    return name, get_curve(get_benchmark(name))
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     """Profile miss-ratio curves and save them for later runs."""
     names = args.benchmarks if args.benchmarks else sorted(BENCHMARKS)
@@ -157,12 +173,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown benchmark(s): {', '.join(unknown)}", file=sys.stderr)
         return 2
-    curves = {}
-    for name in names:
-        print(f"profiling {name} …", file=sys.stderr)
-        curves[name] = get_curve(get_benchmark(name))
+    print(f"profiling {len(names)} benchmark(s) …", file=sys.stderr)
+    curves = dict(parallel_map(_profile_worker, names, jobs=args.jobs))
     path = save_curves(curves, args.out)
     print(f"wrote {len(curves)} curve(s) to {path}")
+    for line in miss_cache_lines():
+        print(line)
     return 0
 
 
@@ -281,12 +297,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    # Performance knobs shared by every simulation command.
+    perf = argparse.ArgumentParser(add_help=False)
+    perf.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run independent simulation points across N processes "
+        "(0 = all cores; default 1 = serial)",
+    )
+    perf.add_argument(
+        "--cache-backend", choices=BACKENDS, default=None,
+        help="cache implementation: the fast flat kernel (default) or "
+        "the reference object model",
+    )
+    perf.add_argument(
+        "--no-miss-cache", action="store_true",
+        help="disable the on-disk miss-curve store (always re-profile)",
+    )
+
     commands.add_parser("list", help="list workloads and commands")
 
-    commands.add_parser("fig1", help="Figure 1 motivation series")
-    commands.add_parser("fig4", help="Figure 4 sensitivity scatter")
+    commands.add_parser(
+        "fig1", help="Figure 1 motivation series", parents=[perf]
+    )
+    commands.add_parser(
+        "fig4", help="Figure 4 sensitivity scatter", parents=[perf]
+    )
 
-    fig5 = commands.add_parser("fig5", help="Figure 5 panels")
+    fig5 = commands.add_parser("fig5", help="Figure 5 panels", parents=[perf])
     fig5.add_argument("workload", choices=WORKLOAD_CHOICES)
     fig5.add_argument(
         "--json", help="also write the results to this JSON file"
@@ -295,21 +332,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--curves", help="load pre-profiled curves from this JSON file"
     )
 
-    fig6 = commands.add_parser("fig6", help="Figure 6 wall-clock candles")
+    fig6 = commands.add_parser(
+        "fig6", help="Figure 6 wall-clock candles", parents=[perf]
+    )
     fig6.add_argument("workload", choices=WORKLOAD_CHOICES)
 
-    fig7 = commands.add_parser("fig7", help="Figure 7 execution traces")
+    fig7 = commands.add_parser(
+        "fig7", help="Figure 7 execution traces", parents=[perf]
+    )
     fig7.add_argument(
         "workload", nargs="?", default="bzip2", choices=WORKLOAD_CHOICES
     )
 
-    curves = commands.add_parser("curves", help="print miss-ratio curves")
+    curves = commands.add_parser(
+        "curves", help="print miss-ratio curves", parents=[perf]
+    )
     curves.add_argument(
         "benchmarks", nargs="+", choices=sorted(BENCHMARKS)
     )
 
     profile = commands.add_parser(
-        "profile", help="profile miss-ratio curves to a JSON file"
+        "profile",
+        help="profile miss-ratio curves to a JSON file",
+        parents=[perf],
     )
     profile.add_argument(
         "benchmarks", nargs="*",
@@ -318,7 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--out", default="curves.json")
 
     faults = commands.add_parser(
-        "faults", help="fault-injection run with a resilience report"
+        "faults",
+        help="fault-injection run with a resilience report",
+        parents=[perf],
     )
     faults.add_argument(
         "workload", nargs="?", default="bzip2", choices=WORKLOAD_CHOICES
@@ -402,6 +449,12 @@ HANDLERS = {
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # The perf knobs are session-wide: the setters mirror into the
+    # environment so --jobs workers inherit them.
+    if getattr(args, "cache_backend", None) is not None:
+        set_default_backend(args.cache_backend)
+    if getattr(args, "no_miss_cache", False):
+        misscache.set_enabled(False)
     return HANDLERS[args.command](args)
 
 

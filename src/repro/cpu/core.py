@@ -10,6 +10,7 @@ Luo's CPI model.  Each core runs at the machine clock (2 GHz).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import islice
 from typing import Iterable, Optional
 
 from repro.cpu.hierarchy import MemoryHierarchy, ServiceLevel
@@ -148,6 +149,50 @@ class InOrderCore:
                 max_accesses -= 1
             self._execute_one(access)
         return self.result
+
+    def execute_block(
+        self,
+        trace: Iterable[MemoryAccess],
+        *,
+        max_accesses: Optional[int] = None,
+    ) -> CoreResult:
+        """Batch variant of :meth:`execute` using the hierarchy's batch API.
+
+        Consumes the same number of accesses from ``trace`` as
+        :meth:`execute` would and accumulates identical totals, but
+        drives the whole segment through
+        :meth:`~repro.cpu.hierarchy.MemoryHierarchy.access_block` so the
+        per-access Python overhead (outcome objects, method dispatch)
+        is paid once per segment instead of once per access.
+        """
+        if self.failed:
+            raise CoreFaultError(
+                f"core {self.core_id} is failed and cannot execute"
+            )
+        if max_accesses is not None:
+            batch = list(islice(trace, max_accesses))
+        else:
+            batch = list(trace)
+        if not batch:
+            return self.result
+        addresses = [access.address for access in batch]
+        is_writes = [access.is_write for access in batch]
+        outcome = self.hierarchy.access_block(
+            self.core_id, addresses, is_writes
+        )
+        result = self.result
+        result.accesses += outcome.accesses
+        result.instructions += (
+            outcome.accesses * self.instructions_per_access
+        )
+        result.cycles += (
+            outcome.accesses * self.instructions_per_access * self.cpi_l1_inf
+            + outcome.latency_cycles
+        )
+        result.l1_hits += outcome.l1_hits
+        result.l2_hits += outcome.l2_hits
+        result.l2_misses += outcome.l2_misses
+        return result
 
     def _execute_one(self, access: MemoryAccess) -> None:
         outcome = self.hierarchy.access(

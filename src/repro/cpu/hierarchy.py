@@ -11,10 +11,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
-from repro.cache.basic import SetAssociativeCache
-from repro.cache.partitioned import WayPartitionedCache
+from repro.cache.backend import AnyCache, AnyPartitionedCache
 from repro.cache.shadow import ShadowTagArray
 from repro.mem.dram import DramModel
 from repro.util.validation import check_non_negative
@@ -37,6 +36,17 @@ class AccessOutcome:
     l2_hit: Optional[bool] = None  # None when the access never reached L2
 
 
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Aggregate result of one :meth:`MemoryHierarchy.access_block` call."""
+
+    accesses: int
+    l1_hits: int
+    l2_hits: int
+    l2_misses: int
+    latency_cycles: float
+
+
 class MemoryHierarchy:
     """L1 (private, per core) → shared L2 → DRAM access path.
 
@@ -46,8 +56,8 @@ class MemoryHierarchy:
 
     def __init__(
         self,
-        l1_caches: Dict[int, SetAssociativeCache],
-        l2_cache: WayPartitionedCache,
+        l1_caches: Dict[int, AnyCache],
+        l2_cache: AnyPartitionedCache,
         dram: DramModel,
         *,
         l1_latency: float = 2.0,
@@ -115,4 +125,60 @@ class MemoryHierarchy:
             ServiceLevel.MEMORY,
             self.l1_latency + self.l2_latency + dram_latency,
             l2_hit=False,
+        )
+
+    def access_block(
+        self,
+        core_id: int,
+        addresses: Sequence[int],
+        is_writes: Sequence[bool],
+    ) -> BatchOutcome:
+        """Run a batch of accesses from one core; return the aggregate.
+
+        State evolution (cache contents, DRAM counters, shadow
+        observations) is identical to calling :meth:`access` per
+        element; the batch only avoids building an
+        :class:`AccessOutcome` per access and re-resolving the L1/L2
+        objects inside the loop.  The default latencies are
+        integer-valued, so summing them here is exact.
+        """
+        try:
+            l1 = self.l1_caches[core_id]
+        except KeyError:
+            raise ValueError(
+                f"core {core_id} has no L1 cache in this hierarchy"
+            ) from None
+        l1_access = l1.access
+        l2_access = self.l2_cache.access
+        dram = self.dram
+        dram_access = dram.access
+        shadow = self._shadows.get(core_id)
+        l1_hits = l2_hits = l2_misses = 0
+        dram_latency = 0.0
+        for address, is_write in zip(addresses, is_writes):
+            if l1_access(address, is_write=is_write, core_id=core_id).hit:
+                l1_hits += 1
+                continue
+            l2_result = l2_access(core_id, address, is_write=is_write)
+            if shadow is not None:
+                shadow.observe(address, l2_result.hit)
+            if l2_result.writeback:
+                dram.record_writeback()
+            if l2_result.hit:
+                l2_hits += 1
+            else:
+                l2_misses += 1
+                dram_latency += dram_access(address)
+        accesses = l1_hits + l2_hits + l2_misses
+        latency = (
+            accesses * self.l1_latency
+            + (l2_hits + l2_misses) * self.l2_latency
+            + dram_latency
+        )
+        return BatchOutcome(
+            accesses=accesses,
+            l1_hits=l1_hits,
+            l2_hits=l2_hits,
+            l2_misses=l2_misses,
+            latency_cycles=latency,
         )

@@ -17,6 +17,7 @@ unknown versions instead of resuming a subtly-incompatible state.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
@@ -32,7 +33,10 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 PathLike = Union[str, Path]
 
-CHECKPOINT_VERSION = 1
+# v2 added cache_backend: a machine configured with backend=None follows
+# the *session* default, and deterministic replay must not depend on
+# which session performs it.
+CHECKPOINT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,12 @@ class SimulationCheckpoint:
     sim_config: SimulationConfig
     fault_config: Optional[FaultConfig]
     record_trace: bool
+    # The backend the checkpointed run actually used, resolved at
+    # checkpoint time.  Under deterministic-replay checkpointing the
+    # cache contents are not snapshotted — they are reconstructed by
+    # replay — so the backend *name* is the only backend state a
+    # checkpoint needs, but it must be pinned explicitly.
+    cache_backend: str = "reference"
 
     def describe(self) -> str:
         """One-line summary for CLI output."""
@@ -74,6 +84,7 @@ def checkpoint_simulator(
         sim_config=simulator.sim_config,
         fault_config=simulator.fault_config,
         record_trace=simulator.record_trace,
+        cache_backend=simulator.machine.resolved_cache_backend,
     )
 
 
@@ -120,9 +131,16 @@ def resume_simulator(
     from repro.sim.engine import RUN_EVENT_BUDGET, RunBudget
     from repro.sim.system import QoSSystemSimulator
 
+    # Pin the recorded backend: the current session's default must not
+    # leak into a replay of a run configured under another default.
+    machine = checkpoint.machine
+    if machine.cache_backend != checkpoint.cache_backend:
+        machine = dataclasses.replace(
+            machine, cache_backend=checkpoint.cache_backend
+        )
     simulator = QoSSystemSimulator(
         checkpoint.workload,
-        machine=checkpoint.machine,
+        machine=machine,
         sim_config=checkpoint.sim_config,
         curves=curves,
         record_trace=checkpoint.record_trace,

@@ -12,8 +12,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Optional
 
-from repro.cache.basic import SetAssociativeCache
-from repro.cache.partitioned import PartitionClass, WayPartitionedCache
+from repro.cache.backend import (
+    AnyCache,
+    AnyPartitionedCache,
+    make_cache,
+    make_partitioned_cache,
+)
+from repro.cache.partitioned import PartitionClass
 from repro.cache.shadow import ShadowTagArray
 from repro.core.partition_manager import PartitionManager
 from repro.cpu.core import CoreResult, InOrderCore, MemoryAccess
@@ -27,14 +32,21 @@ class CmpNode:
 
     def __init__(self, machine: Optional[MachineConfig] = None) -> None:
         self.machine = machine if machine is not None else MachineConfig()
-        self.l1_caches: Dict[int, SetAssociativeCache] = {
-            core_id: SetAssociativeCache(
-                self.machine.l1_geometry, name=f"l1-core{core_id}"
+        backend = self.machine.resolved_cache_backend
+        self.cache_backend = backend
+        self.l1_caches: Dict[int, AnyCache] = {
+            core_id: make_cache(
+                self.machine.l1_geometry,
+                name=f"l1-core{core_id}",
+                backend=backend,
             )
             for core_id in range(self.machine.num_cores)
         }
-        self.l2 = WayPartitionedCache(
-            self.machine.l2_geometry, self.machine.num_cores, name="l2"
+        self.l2: AnyPartitionedCache = make_partitioned_cache(
+            self.machine.l2_geometry,
+            self.machine.num_cores,
+            name="l2",
+            backend=backend,
         )
         self.dram = self.machine.make_dram()
         self.hierarchy = MemoryHierarchy(
@@ -92,7 +104,7 @@ class CmpNode:
     ) -> CoreResult:
         """Run ``accesses`` trace accesses on ``core_id``; return totals."""
         check_positive("accesses", accesses)
-        return self.core(core_id).execute(trace, max_accesses=accesses)
+        return self.core(core_id).execute_block(trace, max_accesses=accesses)
 
     def run_interleaved(
         self,
@@ -116,7 +128,7 @@ class CmpNode:
                 if remaining[core_id] <= 0:
                     continue
                 burst = min(quantum, remaining[core_id])
-                self.core(core_id).execute(trace, max_accesses=burst)
+                self.core(core_id).execute_block(trace, max_accesses=burst)
                 remaining[core_id] -= burst
         return {core_id: self.core(core_id).result for core_id in traces}
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
-from repro.cache.basic import SetAssociativeCache
+from repro.cache.backend import make_cache
 from repro.cache.geometry import CacheGeometry
 from repro.util.rng import DeterministicRng
 from repro.util.validation import check_non_negative, check_positive
@@ -122,22 +122,29 @@ def profile_benchmark(
     accesses: int = 40_000,
     warmup: int = 15_000,
     seed: int = 1234,
+    backend: Optional[str] = None,
 ) -> MissRatioCurve:
     """Measure ``profile``'s miss-ratio curve by direct cache simulation.
 
     For each candidate way count ``w`` the benchmark's trace runs alone
     through a ``w``-way LRU cache with ``num_sets`` sets (a partition
     view of the shared L2).  ``warmup`` accesses fill the cache before
-    ``accesses`` measured ones.
+    ``accesses`` measured ones.  ``backend`` selects the cache
+    implementation (:mod:`repro.cache.backend`); both backends produce
+    identical curves.
     """
     check_positive("accesses", accesses)
     check_non_negative("warmup", warmup)
+    from itertools import islice
+
     points: Dict[int, float] = {}
     for ways in ways_list:
         if ways <= 0:
             raise ValueError(f"ways must be positive, got {ways}")
         geometry = CacheGeometry.from_sets(num_sets, ways, block_bytes)
-        cache = SetAssociativeCache(geometry, name=f"{profile.name}-{ways}w")
+        cache = make_cache(
+            geometry, name=f"{profile.name}-{ways}w", backend=backend
+        )
         generator = profile.make_generator()
         generator.bind(
             num_sets=num_sets,
@@ -145,13 +152,11 @@ def profile_benchmark(
             rng=DeterministicRng(seed, f"profile-{profile.name}"),
         )
         stream = generator.address_stream(warmup + accesses)
-        for _ in range(warmup):
-            address, is_write = next(stream)
-            cache.access(address, is_write=is_write)
-        baseline = cache.stats.snapshot()
-        for address, is_write in stream:
-            cache.access(address, is_write=is_write)
-        measured = cache.stats.delta_since(baseline)
+        if warmup:
+            addresses, writes = zip(*islice(stream, warmup))
+            cache.access_block(addresses, writes)
+        addresses, writes = zip(*stream)
+        measured = cache.access_block(addresses, writes)
         points[ways] = measured.miss_rate
     return MissRatioCurve(
         benchmark=profile.name,
@@ -170,17 +175,48 @@ def get_curve(
     block_bytes: int = 64,
     accesses: int = 40_000,
     seed: int = 1234,
+    backend: Optional[str] = None,
 ) -> MissRatioCurve:
-    """Memoised :func:`profile_benchmark` (one curve per configuration)."""
+    """Memoised :func:`profile_benchmark` (one curve per configuration).
+
+    Two layers of memoisation: the in-process dict below, then the
+    content-addressed on-disk store (:mod:`repro.analysis.misscache`)
+    shared across processes and runs.  Neither key includes the cache
+    backend — both backends produce identical curves (pinned by the
+    differential test suite), so a curve profiled under one backend is
+    valid under the other.
+    """
     key = (profile.name, num_sets, block_bytes, accesses, seed)
     if key not in _CURVE_CACHE:
-        _CURVE_CACHE[key] = profile_benchmark(
+        # Imported lazily: misscache keys on this module's source, so a
+        # top-level import would be circular.
+        from repro.analysis import misscache
+
+        cached = misscache.load_curve(
             profile,
             num_sets=num_sets,
             block_bytes=block_bytes,
             accesses=accesses,
             seed=seed,
         )
+        if cached is None:
+            cached = profile_benchmark(
+                profile,
+                num_sets=num_sets,
+                block_bytes=block_bytes,
+                accesses=accesses,
+                seed=seed,
+                backend=backend,
+            )
+            misscache.store_curve(
+                cached,
+                profile,
+                num_sets=num_sets,
+                block_bytes=block_bytes,
+                accesses=accesses,
+                seed=seed,
+            )
+        _CURVE_CACHE[key] = cached
     return _CURVE_CACHE[key]
 
 

@@ -1,0 +1,124 @@
+"""The parallel executor: ordering, determinism, serial fallback."""
+
+import os
+
+import pytest
+
+from repro.analysis.parallel import parallel_map, point_seed, resolve_jobs
+from repro.analysis.runner import run_all_configurations
+from repro.analysis.sweeps import sweep_arrival_rate
+from repro.core.cluster import ClusterJobProfile
+from repro.core.spec import PRESET_TARGETS
+from repro.sim.config import SimulationConfig
+
+SIM = SimulationConfig(accepted_jobs_target=4)
+
+
+@pytest.fixture(scope="module")
+def fake_curves():
+    from tests.sim.conftest import linear_curve
+
+    return {
+        "bzip2": linear_curve("bzip2", 0.0275, high=0.60, low=0.18, knee=7),
+    }
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom")
+    return x
+
+
+class TestParallelMap:
+    def test_serial_is_plain_map(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_parallel_preserves_input_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=4) == [i * i for i in items]
+
+    def test_empty_input(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_single_item_stays_serial(self):
+        # len(items) == 1 must not fork a pool.
+        assert parallel_map(_square, [5], jobs=8) == [25]
+
+    def test_serial_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_fail_on_three, [1, 2, 3], jobs=1)
+
+    def test_parallel_exceptions_propagate(self):
+        with pytest.raises(ValueError, match="boom"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+
+
+class TestResolveJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_and_negative_mean_all_cores(self):
+        cores = os.cpu_count() or 1
+        assert resolve_jobs(0) == cores
+        assert resolve_jobs(-1) == cores
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(7) == 7
+
+
+class TestPointSeed:
+    def test_deterministic_in_inputs(self):
+        assert point_seed(42, "a") == point_seed(42, "a")
+
+    def test_distinct_labels_distinct_seeds(self):
+        seeds = {point_seed(42, label) for label in range(50)}
+        assert len(seeds) == 50
+
+    def test_parent_seed_matters(self):
+        assert point_seed(1, "a") != point_seed(2, "a")
+
+
+class TestDriversSerialParallelIdentity:
+    """jobs=N must change wall-clock only, never results."""
+
+    def test_run_all_configurations_identical(self, fake_curves):
+        kwargs = dict(
+            count=4, sim_config=SIM, curves=fake_curves, record_trace=False
+        )
+        serial = run_all_configurations("bzip2", jobs=1, **kwargs)
+        parallel = run_all_configurations("bzip2", jobs=2, **kwargs)
+        assert list(serial) == list(parallel)  # same key order
+        for name in serial:
+            assert (
+                serial[name].makespan_cycles
+                == parallel[name].makespan_cycles
+            )
+            assert (
+                serial[name].deadline_report
+                == parallel[name].deadline_report
+            )
+
+    def test_sweep_arrival_rate_identical(self):
+        profiles = [
+            ClusterJobProfile(
+                name="gold",
+                weight=1.0,
+                resources=PRESET_TARGETS["medium"],
+                mean_wall_clock=0.5,
+                deadline_multiplier=2.0,
+            )
+        ]
+        interarrivals = [0.2, 0.4, 0.8, 1.6]
+        serial = sweep_arrival_rate(
+            profiles, interarrivals, horizon=10.0, jobs=1
+        )
+        parallel = sweep_arrival_rate(
+            profiles, interarrivals, horizon=10.0, jobs=2
+        )
+        assert serial == parallel
+        assert [p.mean_interarrival for p in serial] == interarrivals

@@ -1,0 +1,118 @@
+"""Checkpoint fidelity across cache backends.
+
+A machine configured with ``cache_backend=None`` follows the *session*
+default, so a checkpoint taken in one session could replay on a
+different kernel in another — deterministic replay would then rebuild
+different cache state.  The checkpoint therefore records the resolved
+backend name and resume pins it; these tests hold that contract, plus
+the version gate that keeps pre-backend (v1) checkpoints from being
+resumed silently.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cache.backend import set_default_backend
+from repro.faults.checkpoint import (
+    CHECKPOINT_VERSION,
+    SimulationCheckpoint,
+    checkpoint_simulator,
+    load_checkpoint,
+    resume_simulator,
+    save_checkpoint,
+)
+from repro.sim.config import MachineConfig, SimulationConfig
+from repro.core.config import ALL_STRICT
+from repro.sim.engine import RunBudget
+from repro.sim.system import QoSSystemSimulator
+from repro.workloads.composer import single_benchmark_workload
+
+from tests.faults.test_system_faults import signature
+
+SIM = SimulationConfig()
+
+
+@pytest.fixture(autouse=True)
+def restore_default_backend():
+    yield
+    set_default_backend(None)
+
+
+def make_simulator(fake_curves, machine=None):
+    workload = single_benchmark_workload("bzip2", ALL_STRICT)
+    kwargs = {"curves": fake_curves, "sim_config": SIM}
+    if machine is not None:
+        kwargs["machine"] = machine
+    return QoSSystemSimulator(workload, **kwargs)
+
+
+class TestBackendRecording:
+    def test_checkpoint_records_resolved_backend(self, fake_curves):
+        set_default_backend("reference")
+        simulator = make_simulator(fake_curves)
+        simulator.run(budget=RunBudget(max_events=40))
+        checkpoint = checkpoint_simulator(simulator)
+        assert checkpoint.machine.cache_backend is None
+        assert checkpoint.cache_backend == "reference"
+
+    def test_explicit_backend_recorded_verbatim(self, fake_curves):
+        machine = MachineConfig(cache_backend="reference")
+        simulator = make_simulator(fake_curves, machine=machine)
+        simulator.run(budget=RunBudget(max_events=40))
+        assert checkpoint_simulator(simulator).cache_backend == "reference"
+
+
+class TestBackendPinnedOnResume:
+    def test_resume_ignores_changed_session_default(
+        self, fake_curves, tmp_path
+    ):
+        # Checkpoint under the "reference" session default ...
+        set_default_backend("reference")
+        reference_run = make_simulator(fake_curves).run()
+        simulator = make_simulator(fake_curves)
+        simulator.run(budget=RunBudget(max_events=80))
+        path = save_checkpoint(
+            checkpoint_simulator(simulator), tmp_path / "run.ckpt"
+        )
+
+        # ... then resume in a session whose default has moved on.
+        set_default_backend("fast")
+        resumed = resume_simulator(load_checkpoint(path), curves=fake_curves)
+        assert resumed.machine.cache_backend == "reference"
+        assert resumed.machine.resolved_cache_backend == "reference"
+        assert signature(resumed.run()) == signature(reference_run)
+
+    def test_resume_leaves_matching_machine_untouched(
+        self, fake_curves, tmp_path
+    ):
+        machine = MachineConfig(cache_backend="fast")
+        simulator = make_simulator(fake_curves, machine=machine)
+        simulator.run(budget=RunBudget(max_events=80))
+        path = save_checkpoint(
+            checkpoint_simulator(simulator), tmp_path / "run.ckpt"
+        )
+        resumed = resume_simulator(load_checkpoint(path), curves=fake_curves)
+        assert resumed.machine == machine
+        assert resumed.machine.cache_backend == "fast"
+
+
+class TestVersionGate:
+    def test_pre_backend_checkpoints_are_rejected(self, fake_curves, tmp_path):
+        simulator = make_simulator(fake_curves)
+        simulator.run(budget=RunBudget(max_events=40))
+        stale = dataclasses.replace(
+            checkpoint_simulator(simulator), version=1
+        )
+        path = tmp_path / "stale.ckpt"
+        with open(path, "wb") as handle:
+            pickle.dump(stale, handle)
+        with pytest.raises(ValueError, match="version 1"):
+            load_checkpoint(path)
+
+    def test_current_version_is_two(self):
+        assert CHECKPOINT_VERSION == 2
+        assert SimulationCheckpoint.__dataclass_fields__[
+            "cache_backend"
+        ].default == "reference"
