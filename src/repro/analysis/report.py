@@ -207,6 +207,28 @@ def miss_cache_lines() -> List[str]:
     ]
 
 
+def observability_lines() -> List[str]:
+    """Metrics/events footer for CLI runs with observability enabled.
+
+    Empty when the installed observer is the null observer (the
+    default), so callers can append the lines unconditionally — same
+    contract as :func:`miss_cache_lines`.
+    """
+    from repro.obs import get_observer
+
+    observer = get_observer()
+    if not observer.enabled:
+        return []
+    series, counted = observer.metrics.totals()
+    lines = [
+        f"observability: {series} metric series "
+        f"({counted:g} counter increments), "
+        f"{len(observer.events.records)} events recorded",
+    ]
+    lines.extend(f"  {line}" for line in observer.profiler.lines())
+    return lines
+
+
 def summary_lines(results: Dict[str, SystemResult]) -> List[str]:
     """Compact per-configuration one-liners for bench logs."""
     normalised = normalised_throughputs(results) if "All-Strict" in results else {}

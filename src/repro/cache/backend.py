@@ -27,6 +27,7 @@ from repro.cache.fastsim import (
 )
 from repro.cache.geometry import CacheGeometry
 from repro.cache.partitioned import WayPartitionedCache
+from repro.obs import get_observer
 
 BACKENDS = ("reference", "fast")
 
@@ -93,7 +94,15 @@ def make_cache(
     Random) keep working under ``--cache-backend fast``.
     """
     chosen = resolve_backend(backend)
-    if chosen == "fast" and policy == "lru":
+    use_fast = chosen == "fast" and policy == "lru"
+    obs = get_observer()
+    if obs.enabled:
+        obs.metrics.counter(
+            "cache.builds",
+            backend="fast" if use_fast else "reference",
+            kind="single",
+        ).inc()
+    if use_fast:
         return FastSetAssociativeCache(geometry, policy=policy, name=name)
     return SetAssociativeCache(geometry, policy=policy, name=name)
 
@@ -107,6 +116,34 @@ def make_partitioned_cache(
 ) -> AnyPartitionedCache:
     """Build a way-partitioned shared cache on the selected backend."""
     chosen = resolve_backend(backend)
+    obs = get_observer()
+    if obs.enabled:
+        obs.metrics.counter(
+            "cache.builds", backend=chosen, kind="partitioned"
+        ).inc()
     if chosen == "fast":
         return FastWayPartitionedCache(geometry, num_cores, name=name)
     return WayPartitionedCache(geometry, num_cores, name=name)
+
+
+def record_cache_stats(cache, *, scope: str) -> None:
+    """Pull a cache's hit/miss counters into the metrics registry.
+
+    Snapshot-style (called once per run/segment, never per access) so
+    the hot access path stays untouched — the zero-cost-when-disabled
+    contract of :mod:`repro.obs`.  Works with either backend: both
+    expose ``stats`` objects with ``hits``/``misses`` totals, and the
+    partitioned variants expose per-core stats.
+    """
+    obs = get_observer()
+    if not obs.enabled:
+        return
+    stats = getattr(cache, "stats", None)
+    if stats is None:
+        return
+    hits = getattr(stats, "hits", None)
+    misses = getattr(stats, "misses", None)
+    if hits is not None:
+        obs.metrics.gauge(f"cache.{scope}.hits").set(hits)
+    if misses is not None:
+        obs.metrics.gauge(f"cache.{scope}.misses").set(misses)

@@ -29,6 +29,7 @@ from repro.analysis.report import (
     deadline_table,
     downgrade_ladder_lines,
     miss_cache_lines,
+    observability_lines,
     resilience_table,
     sensitivity_table,
     throughput_table,
@@ -46,6 +47,7 @@ from repro.faults import (
     resume_simulator,
     save_checkpoint,
 )
+from repro.obs import Observer, reset_observer, set_observer
 from repro.sim.engine import RunBudget
 from repro.sim.system import QoSSystemSimulator
 from repro.util.tables import format_table
@@ -313,6 +315,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-miss-cache", action="store_true",
         help="disable the on-disk miss-curve store (always re-profile)",
     )
+    perf.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable observability and write the metrics snapshot "
+        "(JSONL, one series per line) here",
+    )
+    perf.add_argument(
+        "--events-out", default=None, metavar="PATH",
+        help="enable observability and write the structured event "
+        "stream (JSONL, schema v1) here",
+    )
 
     commands.add_parser("list", help="list workloads and commands")
 
@@ -446,6 +458,35 @@ HANDLERS = {
 }
 
 
+def _run_observed(args: argparse.Namespace) -> int:
+    """Run the command with a live observer; write artifacts afterwards.
+
+    The observer is installed for exactly one command invocation and
+    restored in ``finally``, so repeated ``main()`` calls in one
+    process (tests, notebooks) each start from empty registries —
+    which is what makes the JSONL artifacts byte-identical across
+    identically-seeded runs.
+    """
+    metrics_out = getattr(args, "metrics_out", None)
+    events_out = getattr(args, "events_out", None)
+    observer = Observer()
+    set_observer(observer)
+    try:
+        code = HANDLERS[args.command](args)
+        footer = observability_lines()
+    finally:
+        reset_observer()
+    if metrics_out:
+        path = observer.metrics.write_jsonl(metrics_out)
+        print(f"metrics written to {path}")
+    if events_out:
+        path = observer.events.write_jsonl(events_out)
+        print(f"events written to {path}")
+    for line in footer:
+        print(line)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -455,6 +496,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_backend(args.cache_backend)
     if getattr(args, "no_miss_cache", False):
         misscache.set_enabled(False)
+    if getattr(args, "metrics_out", None) or getattr(args, "events_out", None):
+        if getattr(args, "jobs", 1) != 1:
+            print(
+                "observability captures the coordinating process only; "
+                "use --jobs 1 for complete metrics/event streams",
+                file=sys.stderr,
+            )
+        return _run_observed(args)
     return HANDLERS[args.command](args)
 
 

@@ -31,6 +31,7 @@ from typing import List, Optional
 from repro.core.job import Job
 from repro.core.modes import ModeKind
 from repro.core.spec import ResourceVector
+from repro.obs import get_observer
 from repro.util.validation import check_non_negative
 
 
@@ -134,6 +135,9 @@ class LocalAdmissionController:
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
         self.stats.candidate_windows_evaluated += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("lac.candidate_windows").inc()
         breakpoints = [start] + [
             r.start
             for r in self._reservations
@@ -228,6 +232,9 @@ class LocalAdmissionController:
         Opportunistically until then (the caller flips the job's mode).
         """
         self.stats.admission_tests += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("lac.admit_calls").inc()
         mode = job.target.mode
 
         if mode.kind is ModeKind.OPPORTUNISTIC:
@@ -309,6 +316,9 @@ class LocalAdmissionController:
         then retries with backoff or downgrades the job's mode).
         """
         self.stats.admission_tests += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("lac.reserve_window_calls").inc()
         if not resources.fits_within(self.capacity):
             self.stats.rejections += 1
             return None

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.cache.partitioned import PartitionClass
+from repro.obs import get_observer
 from repro.util.validation import check_non_negative, check_positive
 
 
@@ -154,6 +155,12 @@ def downgrade_to_elastic(
     Strict.
     """
     slack = max_elastic_slack(arrival, deadline, max_wall_clock)
+    obs = get_observer()
+    if obs.enabled:
+        obs.metrics.counter(
+            "modes.downgrade_to_elastic",
+            feasible=slack > 0.0,
+        ).inc()
     if slack <= 0.0:
         return None
     return ExecutionMode.elastic(slack)
@@ -169,7 +176,14 @@ def opportunistic_window(
     reserved timeslot) to guarantee the deadline.  Returns ``None`` when
     there is no slack, i.e. the job must start Strict immediately.
     """
-    if time_slack(arrival, deadline, max_wall_clock) <= 0.0:
+    slack = time_slack(arrival, deadline, max_wall_clock)
+    obs = get_observer()
+    if obs.enabled:
+        obs.metrics.counter(
+            "modes.opportunistic_window",
+            feasible=slack > 0.0,
+        ).inc()
+    if slack <= 0.0:
         return None
     return deadline - max_wall_clock
 

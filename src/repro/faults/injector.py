@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.faults.model import FaultEvent, FaultKind, FaultSchedule
+from repro.obs import get_observer
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.system import QoSSystemSimulator
@@ -49,6 +50,19 @@ class SystemFaultInjector:
                 return
             self.injected += 1
             simulator.record_fault(event, now)
+            obs = get_observer()
+            if obs.enabled:
+                obs.metrics.counter(
+                    "faults.injected", kind=event.kind.value
+                ).inc()
+                obs.events.emit(
+                    "fault",
+                    now,
+                    fault_kind=event.kind.value,
+                    target=event.target,
+                    duration=event.duration,
+                    magnitude=event.magnitude,
+                )
             if event.kind is FaultKind.CORE_FAILURE:
                 simulator.fail_core(
                     event.target, duration=event.duration, now=now

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.obs import get_observer
 from repro.util.validation import (
     check_fraction,
     check_positive,
@@ -75,6 +76,12 @@ class BandwidthModel:
         if factor == 0:
             raise ValueError("a zero derate factor would sever the bus")
         self._derate_factors.append(factor)
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("mem.bus.derates_applied").inc()
+            obs.metrics.gauge("mem.bus.derate_factor").set(
+                self.derate_factor
+            )
 
     def remove_derate(self, factor: float) -> None:
         """End one previously-applied brown-out window."""
@@ -84,6 +91,11 @@ class BandwidthModel:
             raise ValueError(
                 f"no active derate with factor {factor} to remove"
             ) from None
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.gauge("mem.bus.derate_factor").set(
+                self.derate_factor
+            )
 
     # -- utilisation ------------------------------------------------------------
 

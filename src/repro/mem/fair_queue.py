@@ -8,10 +8,11 @@ module implements that substrate so bandwidth can be a first-class
 reserved resource:
 
 - Each core is assigned a bandwidth *share* (fraction of the bus).
-- Every request is stamped with a virtual finish time
-  ``VFT = max(virtual_now, last_VFT(core)) + service / share`` and the
-  bus serves the pending request with the smallest VFT (start-time
-  fair queuing).
+- Every request is stamped with its virtual start time
+  ``VST = max(arrival, last_VFT(core))`` (the core's previous virtual
+  finish being ``VFT = VST + service / share``), and the bus serves the
+  *eligible* — already-arrived — pending request with the smallest VST
+  (start-time fair queuing, SFQ).
 - The guarantee: a core with share φ observes service no worse than a
   private bus of capacity φ · peak, *regardless* of how aggressively
   other cores inject — the property FCFS lacks.
@@ -29,6 +30,7 @@ import itertools
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.obs import get_observer
 from repro.util.stats import RunningStats
 from repro.util.validation import check_non_negative, check_positive
 
@@ -52,7 +54,7 @@ class CompletedRequest:
 class _PendingRequest:
     core_id: int
     arrival: float
-    tag: float  # virtual finish time (fair queue) or arrival (FCFS)
+    tag: float  # virtual start time (fair queue) or arrival (FCFS)
     sequence: int
 
 
@@ -85,14 +87,39 @@ class _BusBase:
         )
 
     def drain(self) -> List[CompletedRequest]:
-        """Serve every queued request in tag order; return completions.
+        """Serve every queued request; return completions.
 
-        Requests are assumed already submitted (offline schedule); the
-        bus serves the lowest-tag *eligible* request, advancing its
-        clock to the request's arrival when idle.
+        Requests are assumed already submitted (offline schedule).  At
+        each service decision the bus picks the smallest-tag request
+        *among those already arrived* by the bus-free time; only when
+        nothing has arrived does it idle, jumping the clock to the
+        earliest pending arrival.  Serving strictly in global tag order
+        instead (the old behaviour) let the bus sit idle waiting for a
+        small-tag request's arrival while an arrived larger-tag request
+        was pending — violating the work-conservation property promised
+        above.
         """
-        while self._pending:
-            _, _, request = heapq.heappop(self._pending)
+        obs = get_observer()
+        emit_grants = obs.enabled
+        # Not-yet-arrived requests, ordered by arrival (ties: tag, seq).
+        arrivals: List[tuple] = [
+            (request.arrival, tag, seq, request)
+            for tag, seq, request in self._pending
+        ]
+        heapq.heapify(arrivals)
+        self._pending = []
+        # Arrived requests, ordered by tag (ties: submission order).
+        eligible: List[tuple] = []
+        while arrivals or eligible:
+            if not eligible:
+                # Idle bus, nothing arrived: jump to the next arrival.
+                self._bus_free_at = max(
+                    self._bus_free_at, arrivals[0][0]
+                )
+            while arrivals and arrivals[0][0] <= self._bus_free_at:
+                arrival, tag, seq, request = heapq.heappop(arrivals)
+                heapq.heappush(eligible, (tag, seq, request))
+            _, _, request = heapq.heappop(eligible)
             start = max(self._bus_free_at, request.arrival)
             finish = start + self.service_cycles
             self._bus_free_at = finish
@@ -106,6 +133,18 @@ class _BusBase:
             self.per_core_latency.setdefault(
                 request.core_id, RunningStats()
             ).add(completed.latency)
+            if emit_grants:
+                obs.metrics.counter(
+                    "mem.fairqueue.grants", core=request.core_id
+                ).inc()
+                obs.events.emit(
+                    "bus_grant",
+                    start,
+                    core_id=request.core_id,
+                    arrival=request.arrival,
+                    finish=finish,
+                    tag=request.tag,
+                )
         return self.completed
 
     def mean_latency(self, core_id: int) -> float:
@@ -158,13 +197,16 @@ class FairQueueBus(_BusBase):
             raise ValueError(
                 f"core {core_id} has no bandwidth share"
             ) from None
-        # Start-time fair queuing: the virtual start is the later of the
-        # request's arrival (in virtual time ~ real time here) and the
-        # core's previous virtual finish; service inflates by 1/share.
+        # Start-time fair queuing tags by the *virtual start*: the later
+        # of the request's arrival (virtual time ~ real time here) and
+        # the core's previous virtual finish.  The finish — start plus
+        # service inflated by 1/share — only advances the core's VFT
+        # chain; tagging by the finish (the old behaviour) is SFQ's
+        # sibling FFQ, which penalises low-share cores' first requests
+        # by their whole inflated service time.
         start = max(arrival, self._last_vft[core_id])
-        finish = start + self.service_cycles / share
-        self._last_vft[core_id] = finish
-        return finish
+        self._last_vft[core_id] = start + self.service_cycles / share
+        return start
 
     def guaranteed_latency_bound(self, core_id: int, backlog: int) -> float:
         """Worst-case latency of the ``backlog``-th queued request.

@@ -1,0 +1,162 @@
+"""``repro.obs`` — structured observability for the simulator stack.
+
+Three coordinated pieces (the MGSim-style monitoring layer the ROADMAP
+calls for):
+
+- :class:`~repro.obs.metrics.MetricsRegistry` — named counters, gauges,
+  histograms and summaries with hierarchical dotted names and labels.
+- :class:`~repro.obs.events.EventLog` — an append-only, seed-
+  deterministic JSONL event stream with a versioned schema.
+- :class:`~repro.obs.profiler.PhaseProfiler` — context-manager spans
+  measuring per-phase wall clock and engine event counts.
+
+An :class:`Observer` bundles the three.  Instrumentation sites fetch
+the process-wide observer with :func:`get_observer` and guard with
+``obs.enabled``::
+
+    obs = get_observer()
+    if obs.enabled:
+        obs.events.emit("admission", now, job_id=3, accepted=True)
+
+The default observer is :data:`NULL_OBSERVER` — disabled, with no-op
+sinks — so an un-instrumented run pays one attribute check per
+instrumentation site and nothing else (the zero-cost-when-disabled
+contract; ``bench_perf_kernel`` guards the budget).  The CLI installs a
+live observer when ``--metrics-out``/``--events-out`` is given.
+
+Determinism contract: everything written to the metrics/events JSONL
+files derives from simulated state only (simulated times, seeded
+draws, counter values).  Host wall clock appears solely in the
+human-facing profiler footer, never in the files, so two runs of the
+same seeded command produce byte-identical artefacts.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    EventLog,
+    EventSchemaError,
+    validate_jsonl,
+    validate_record,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, metric_key
+from repro.obs.profiler import PhaseProfiler, PhaseRecord
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Counter",
+    "EventLog",
+    "EventSchemaError",
+    "Gauge",
+    "MetricsRegistry",
+    "NULL_OBSERVER",
+    "Observer",
+    "PhaseProfiler",
+    "PhaseRecord",
+    "get_observer",
+    "metric_key",
+    "observed",
+    "set_observer",
+    "validate_jsonl",
+    "validate_record",
+]
+
+
+class Observer:
+    """A live observability hub: registry + event log + profiler."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.metrics = MetricsRegistry()
+        self.events = EventLog()
+        self.profiler = PhaseProfiler()
+
+    def footer_lines(self) -> List[str]:
+        """Human-facing summary for CLI/report footers.
+
+        Includes host wall-clock per phase — fine for a footer, which
+        is why this never goes into the deterministic JSONL artefacts.
+        """
+        series, counted = self.metrics.totals()
+        lines = [
+            f"observability: {len(self.events)} events "
+            f"({len(self.events.kinds())} kinds), {series} metric series "
+            f"(counter total {counted})",
+        ]
+        lines.extend(f"  phase {line}" for line in self.profiler.lines())
+        return lines
+
+
+class _NullEventLog(EventLog):
+    """Event sink that drops everything."""
+
+    def emit(self, kind: str, t: float, **fields: object) -> None:
+        pass
+
+
+class _NullProfiler(PhaseProfiler):
+    """Profiler whose spans cost nothing and record nothing."""
+
+    @contextmanager
+    def span(self, name: str, *, event_source=None) -> Iterator[PhaseRecord]:
+        yield PhaseRecord(name)
+
+
+class NullObserver(Observer):
+    """Disabled observer: the default, with no-op sinks.
+
+    ``enabled`` is False, so guarded sites skip it entirely; the no-op
+    sinks make even unguarded calls safe (and allocation-free for the
+    event log).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events = _NullEventLog()
+        self.profiler = _NullProfiler()
+
+
+#: The process default: observability off.
+NULL_OBSERVER = NullObserver()
+
+_observer: Observer = NULL_OBSERVER
+
+
+def get_observer() -> Observer:
+    """The process-wide observer (``NULL_OBSERVER`` unless installed)."""
+    return _observer
+
+
+def set_observer(observer: Observer) -> None:
+    """Install ``observer`` as the process-wide sink."""
+    global _observer
+    _observer = observer
+
+
+def reset_observer() -> None:
+    """Restore the disabled default."""
+    set_observer(NULL_OBSERVER)
+
+
+@contextmanager
+def observed(observer: Optional[Observer] = None) -> Iterator[Observer]:
+    """Scope a live observer: install on entry, restore on exit.
+
+    ``with observed() as obs:`` is the test-friendly way to capture a
+    block's events and metrics without leaking global state.
+    """
+    if observer is None:
+        observer = Observer()
+    previous = get_observer()
+    set_observer(observer)
+    try:
+        yield observer
+    finally:
+        set_observer(previous)

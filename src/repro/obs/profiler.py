@@ -1,0 +1,87 @@
+"""Lightweight phase profiler: where did the run spend its time?
+
+MGSim-style monitoring for the event loop without a real sampling
+profiler: callers wrap coarse phases (an engine ``run``, one figure
+command, a profiling pass) in :meth:`PhaseProfiler.span` and get, per
+phase name, the entry count, accumulated host wall-clock, and the
+number of engine events fired inside the phase.
+
+Wall-clock numbers are host-dependent and therefore *excluded* from the
+deterministic metrics/event exports; they surface only in the
+human-facing report footer.  Event counts are simulation-derived and
+deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class PhaseRecord:
+    """Accumulated cost of one named phase."""
+
+    name: str
+    entries: int = 0
+    wall_seconds: float = 0.0
+    events_fired: int = 0
+
+    def describe(self) -> str:
+        """One footer line for this phase."""
+        events = (
+            f", {self.events_fired} events" if self.events_fired else ""
+        )
+        return (
+            f"{self.name}: {self.entries} run(s), "
+            f"{self.wall_seconds * 1e3:.1f} ms{events}"
+        )
+
+
+@dataclass
+class PhaseProfiler:
+    """Context-manager spans accumulating per-phase cost.
+
+    Spans may nest (a CLI-command span around an engine-run span); each
+    accumulates independently.
+    """
+
+    phases: Dict[str, PhaseRecord] = field(default_factory=dict)
+
+    @contextmanager
+    def span(
+        self, name: str, *, event_source=None
+    ) -> Iterator[PhaseRecord]:
+        """Time a phase; ``event_source`` is any object exposing
+        ``events_fired`` (e.g. :class:`repro.sim.engine.EventQueue`),
+        sampled on entry and exit to attribute events to the phase."""
+        record = self.phases.get(name)
+        if record is None:
+            record = self.phases[name] = PhaseRecord(name)
+        events_before = (
+            event_source.events_fired if event_source is not None else 0
+        )
+        started = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.entries += 1
+            record.wall_seconds += time.perf_counter() - started
+            if event_source is not None:
+                record.events_fired += (
+                    event_source.events_fired - events_before
+                )
+
+    def record(self, name: str) -> Optional[PhaseRecord]:
+        """The accumulated record for ``name``, if the phase ever ran."""
+        return self.phases.get(name)
+
+    def lines(self) -> List[str]:
+        """Footer lines, one per phase, sorted by descending wall time."""
+        ordered = sorted(
+            self.phases.values(),
+            key=lambda record: (-record.wall_seconds, record.name),
+        )
+        return [record.describe() for record in ordered]

@@ -17,12 +17,14 @@ from repro.cache.backend import (
     AnyPartitionedCache,
     make_cache,
     make_partitioned_cache,
+    record_cache_stats,
 )
 from repro.cache.partitioned import PartitionClass
 from repro.cache.shadow import ShadowTagArray
 from repro.core.partition_manager import PartitionManager
 from repro.cpu.core import CoreResult, InOrderCore, MemoryAccess
 from repro.cpu.hierarchy import MemoryHierarchy
+from repro.obs import get_observer
 from repro.sim.config import MachineConfig
 from repro.util.validation import check_positive
 
@@ -122,14 +124,20 @@ class CmpNode:
         """
         check_positive("accesses_per_core", accesses_per_core)
         check_positive("quantum", quantum)
-        remaining = {core_id: accesses_per_core for core_id in traces}
-        while any(count > 0 for count in remaining.values()):
-            for core_id, trace in traces.items():
-                if remaining[core_id] <= 0:
-                    continue
-                burst = min(quantum, remaining[core_id])
-                self.core(core_id).execute_block(trace, max_accesses=burst)
-                remaining[core_id] -= burst
+        obs = get_observer()
+        with obs.profiler.span("cmp.run_interleaved"):
+            remaining = {core_id: accesses_per_core for core_id in traces}
+            while any(count > 0 for count in remaining.values()):
+                for core_id, trace in traces.items():
+                    if remaining[core_id] <= 0:
+                        continue
+                    burst = min(quantum, remaining[core_id])
+                    self.core(core_id).execute_block(
+                        trace, max_accesses=burst
+                    )
+                    remaining[core_id] -= burst
+        if obs.enabled:
+            self.publish_metrics()
         return {core_id: self.core(core_id).result for core_id in traces}
 
     # -- inspection ---------------------------------------------------------------
@@ -140,6 +148,16 @@ class CmpNode:
             core_id: self.l2.occupancy_of(core_id)
             for core_id in range(self.machine.num_cores)
         }
+
+    def publish_metrics(self) -> None:
+        """Push the node's cache counters into the metrics registry.
+
+        Snapshot-style (gauge assignment, not per-access increments):
+        call after a segment, not inside the access loop.
+        """
+        record_cache_stats(self.l2, scope="l2")
+        for core_id, l1 in self.l1_caches.items():
+            record_cache_stats(l1, scope=f"l1.core{core_id}")
 
     def allocation_errors(self) -> Dict[int, float]:
         """Per-core mean deviation from target allocation (convergence)."""

@@ -25,6 +25,8 @@ import time as _time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.obs import get_observer
+
 EventCallback = Callable[[float], None]
 
 #: Outcomes of :meth:`EventQueue.run`.
@@ -162,6 +164,43 @@ class EventQueue:
         simulator bug that reschedules forever raises instead of
         hanging.
         """
+        obs = get_observer()
+        if not obs.enabled:
+            return self._run_loop(
+                until=until,
+                max_events=max_events,
+                stop_when=stop_when,
+                budget=budget,
+            )
+        fired_before = self.events_fired
+        with obs.profiler.span("engine.run", event_source=self):
+            outcome = self._run_loop(
+                until=until,
+                max_events=max_events,
+                stop_when=stop_when,
+                budget=budget,
+            )
+        obs.metrics.counter("engine.runs", outcome=outcome).inc()
+        obs.metrics.counter("engine.events_fired").inc(
+            self.events_fired - fired_before
+        )
+        obs.events.emit(
+            "engine.run_end",
+            self.now,
+            outcome=outcome,
+            events_fired=self.events_fired - fired_before,
+            pending=len(self),
+        )
+        return outcome
+
+    def _run_loop(
+        self,
+        *,
+        until: float,
+        max_events: int,
+        stop_when: Optional[Callable[[], bool]],
+        budget: Optional[RunBudget],
+    ) -> str:
         fired = 0
         wall_deadline = None
         if budget is not None and budget.max_wall_seconds is not None:
@@ -208,6 +247,9 @@ class EventQueue:
         self._heap = [entry for entry in self._heap if not entry.cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("engine.compactions").inc()
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0].cancelled:

@@ -63,6 +63,7 @@ from repro.faults.injector import SystemFaultInjector
 from repro.faults.invariants import InvariantChecker
 from repro.faults.model import FaultConfig, FaultEvent, FaultSchedule
 from repro.faults.resilience import RetryPolicy, downgrade_mode
+from repro.obs import get_observer
 from repro.sim.config import MachineConfig, SimulationConfig
 from repro.sim.engine import (
     RUN_EVENT_BUDGET,
@@ -470,6 +471,18 @@ class QoSSystemSimulator:
     def _try_admit(self, spec: JobSpec, now: float) -> bool:
         job, auto_down, tw = self._build_job(spec, now)
         decision = self.lac.admit(job, now=now, auto_downgrade=auto_down)
+        obs = get_observer()
+        if obs.enabled and not decision.accepted:
+            obs.metrics.counter("sim.admission.rejected").inc()
+            obs.events.emit(
+                "admission",
+                now,
+                job_id=job.job_id,
+                benchmark=spec.benchmark,
+                mode=spec.mode.describe(),
+                accepted=False,
+                reason=decision.reason,
+            )
         if not decision.accepted:
             if not job.target.resources.fits_within(self.lac.capacity):
                 raise RuntimeError(
@@ -494,6 +507,23 @@ class QoSSystemSimulator:
         """Post-acceptance registration: state, dispatch, downgrade."""
         job.mark_accepted()
         self._accepted.append(job)
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("sim.admission.accepted").inc()
+            obs.events.emit(
+                "admission",
+                now,
+                job_id=job.job_id,
+                benchmark=spec.benchmark,
+                mode=spec.mode.describe(),
+                accepted=True,
+                auto_downgrade=auto_down,
+                reserved_start=(
+                    decision.reservation.start
+                    if decision.reservation is not None
+                    else None
+                ),
+            )
         state = _JobRun(
             job=job,
             spec=spec,
@@ -519,6 +549,14 @@ class QoSSystemSimulator:
                 job.switch_back_time = start
                 self._start_opportunistic(state, now)
                 job.change_mode(now, ExecutionMode.opportunistic())
+                if obs.enabled:
+                    obs.metrics.counter("sim.auto_downgrades").inc()
+                    obs.events.emit(
+                        "auto_downgrade",
+                        now,
+                        job_id=job.job_id,
+                        switch_back_at=start,
+                    )
                 self.events.schedule(
                     start, self._make_switch_back(job.job_id)
                 )
@@ -556,6 +594,10 @@ class QoSSystemSimulator:
             # The reserved timeslot begins: resume Strict execution on a
             # pinned core (Section 3.4's switch-back arrow in Figure 7b).
             state.job.change_mode(now, ExecutionMode.strict())
+            obs = get_observer()
+            if obs.enabled:
+                obs.metrics.counter("sim.switch_backs").inc()
+                obs.events.emit("switch_back", now, job_id=job_id)
             self._dispatch_reserved(state, now)
             self._recompute(now)
 
@@ -601,6 +643,15 @@ class QoSSystemSimulator:
         if self.record_trace:
             self.trace.finish(now, state.job.job_id)
         self._terminations += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("sim.jobs.terminated").inc()
+            obs.events.emit(
+                "job_terminate",
+                now,
+                job_id=state.job.job_id,
+                progress=state.progress,
+            )
         if all(
             s.job.state in (JobState.COMPLETED, JobState.TERMINATED)
             for s in self._states.values()
@@ -780,6 +831,13 @@ class QoSSystemSimulator:
         else:
             opp_multiplier = 1.0
             self._bus_saturated = False
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.gauge("mem.bus.penalty_multiplier").set(
+                opp_multiplier
+            )
+            if self._bus_saturated:
+                obs.metrics.counter("mem.bus.saturated_intervals").inc()
 
         # Rates, trace, and event rescheduling.
         for state in running:
@@ -861,6 +919,20 @@ class QoSSystemSimulator:
             self.lac.release(state.reservation, at_time=now)
         if self.record_trace:
             self.trace.finish(now, state.job.job_id)
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("sim.jobs.completed").inc()
+            started = state.job.start_time
+            obs.metrics.summary("sim.job_wall_clock").add(
+                now - (started if started is not None else now)
+            )
+            obs.events.emit(
+                "job_complete",
+                now,
+                job_id=state.job.job_id,
+                benchmark=state.spec.benchmark,
+                met_deadline=state.job.met_deadline,
+            )
         if all(
             s.job.state in (JobState.COMPLETED, JobState.TERMINATED)
             for s in self._states.values()
@@ -906,6 +978,18 @@ class QoSSystemSimulator:
             )
             if decision.action is StealingAction.STEAL_ONE:
                 self._steal_transfers += 1
+            obs = get_observer()
+            if obs.enabled and decision.action is not StealingAction.HOLD:
+                obs.metrics.counter(
+                    "sim.repartitions", action=decision.action.value
+                ).inc()
+                obs.events.emit(
+                    "repartition",
+                    now,
+                    job_id=job_id,
+                    action=decision.action.value,
+                    ways=state.steal.current_ways,
+                )
             state.next_interval_at = (
                 state.progress
                 + self.machine.repartition_interval_instructions
@@ -1024,6 +1108,10 @@ class QoSSystemSimulator:
         step 1); re-admission is scheduled with backoff."""
         self._displacements += 1
         job = state.job
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("sim.faults.displacements").inc()
+            obs.events.emit("displacement", now, job_id=job.job_id)
         if state.reservation is not None:
             self.lac.release(state.reservation, at_time=now)
             state.reservation = None
@@ -1096,6 +1184,16 @@ class QoSSystemSimulator:
         )
         if reservation is not None:
             self._readmissions += 1
+            obs = get_observer()
+            if obs.enabled:
+                obs.metrics.counter("sim.faults.readmissions").inc()
+                obs.events.emit(
+                    "readmission",
+                    now,
+                    job_id=job.job_id,
+                    start=reservation.start,
+                    end=reservation.end,
+                )
             state.reservation = reservation
             state.displaced = False
             state.retry_attempt = 0
@@ -1172,6 +1270,19 @@ class QoSSystemSimulator:
         to_mode: Optional[ExecutionMode],
         reason: str,
     ) -> None:
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("sim.faults.downgrades").inc()
+            obs.events.emit(
+                "mode_downgrade",
+                now,
+                job_id=job.job_id,
+                from_mode=from_mode.describe(),
+                to_mode=(
+                    to_mode.describe() if to_mode is not None else "best-effort"
+                ),
+                reason=reason,
+            )
         self._downgrades.append(
             DowngradeRecord(
                 time=now,
@@ -1189,6 +1300,33 @@ class QoSSystemSimulator:
     # -- results -----------------------------------------------------------------------------------
 
     def _build_result(self, *, partial: bool = False) -> SystemResult:
+        obs = get_observer()
+        if obs.enabled:
+            labels = {"configuration": self.config.name}
+            obs.metrics.gauge("sim.probes", **labels).set(self._probes)
+            obs.metrics.gauge("sim.rejections", **labels).set(
+                self._rejections
+            )
+            obs.metrics.gauge("sim.backfills", **labels).set(
+                self._backfills
+            )
+            obs.metrics.gauge("sim.steal_transfers", **labels).set(
+                self._steal_transfers
+            )
+            obs.metrics.gauge("lac.admission_tests", **labels).set(
+                self.lac.stats.admission_tests
+            )
+            obs.metrics.gauge("lac.candidate_windows", **labels).set(
+                self.lac.stats.candidate_windows_evaluated
+            )
+            obs.events.emit(
+                "run_result",
+                self.events.now,
+                workload=self.workload.name,
+                configuration=self.config.name,
+                partial=partial,
+                jobs=len(self._accepted),
+            )
         jobs = list(self._accepted)
         completed = sum(
             1 for job in jobs if job.state is JobState.COMPLETED

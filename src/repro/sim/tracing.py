@@ -122,11 +122,26 @@ class ExecutionTrace:
 
     # -- resource-accounting audits (used by integration tests) -----------------
 
+    def _active_at(self, time: float) -> List:
+        """Closed and still-open segments covering instant ``time``.
+
+        Open segments (jobs still running when the audit runs) are
+        treated as extending to the query time; scanning only closed
+        segments made mid-run jobs invisible and let the
+        oversubscription audit silently undercount.
+        """
+        active: List = [
+            s for s in self.segments if s.start <= time < s.end
+        ]
+        active.extend(s for s in self._open.values() if s.start <= time)
+        return active
+
     def breakpoints(self) -> List[float]:
-        """All segment boundaries, sorted and deduplicated."""
+        """All segment boundaries (open starts included), sorted, deduplicated."""
         times = {s.start for s in self.segments} | {
             s.end for s in self.segments
         }
+        times.update(s.start for s in self._open.values())
         return sorted(times)
 
     def ways_in_use_at(self, time: float) -> int:
@@ -135,11 +150,12 @@ class ExecutionTrace:
         A core timesharing k Opportunistic jobs reports the core's way
         allocation once (each job's record carries the full core
         allocation but a 1/k CPU share), so the audit divides by the
-        concurrency on each (core, interval).
+        concurrency on each (core, interval).  Jobs whose current
+        segment is still open count too — an audit probed mid-run must
+        see them.
         """
-        active = [s for s in self.segments if s.start <= time < s.end]
-        per_core: Dict[int, List[TraceSegment]] = {}
-        for segment in active:
+        per_core: Dict[int, List] = {}
+        for segment in self._active_at(time):
             per_core.setdefault(segment.core_id, []).append(segment)
         total = 0.0
         for segments in per_core.values():
@@ -148,7 +164,8 @@ class ExecutionTrace:
         return int(round(total))
 
     def cores_in_use_at(self, time: float) -> float:
-        """Total CPU shares in use at ``time`` (≤ core count if sound)."""
-        return sum(
-            s.cpu_share for s in self.segments if s.start <= time < s.end
-        )
+        """Total CPU shares in use at ``time`` (≤ core count if sound).
+
+        Includes still-open segments, like :meth:`ways_in_use_at`.
+        """
+        return sum(s.cpu_share for s in self._active_at(time))

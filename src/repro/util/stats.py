@@ -118,10 +118,16 @@ class Histogram:
     _buckets: Dict[int, int] = field(default_factory=dict)
     _stats: RunningStats = field(default_factory=RunningStats)
 
+    def __post_init__(self) -> None:
+        # Validate at construction, not on first add(): a misconfigured
+        # histogram that never receives a sample used to go unnoticed.
+        if self.bucket_width <= 0:
+            raise ValueError(
+                f"bucket_width must be positive, got {self.bucket_width}"
+            )
+
     def add(self, value: float) -> None:
         """Record one sample."""
-        if self.bucket_width <= 0:
-            raise ValueError("bucket_width must be positive")
         index = int(value // self.bucket_width)
         self._buckets[index] = self._buckets.get(index, 0) + 1
         self._stats.add(value)

@@ -89,6 +89,73 @@ class TestFairQueueIsolation:
         assert max(r.latency for r in core1) <= bound + 1e-9
 
 
+def assert_work_conserving(bus):
+    """No idle gap while an already-arrived request was pending."""
+    completed = sorted(bus.completed, key=lambda r: r.start)
+    for index, current in enumerate(completed[1:], start=1):
+        previous = completed[index - 1]
+        if current.start > previous.finish + 1e-9:
+            # The bus idled: nothing later in the schedule may have
+            # arrived before the gap opened.
+            pending_arrivals = [r.arrival for r in completed[index:]]
+            assert min(pending_arrivals) > previous.finish + 1e-9, (
+                f"bus idle [{previous.finish}, {current.start}) while a "
+                f"request arrived at {min(pending_arrivals)} was pending"
+            )
+
+
+class TestWorkConservationRegression:
+    def test_late_low_share_request_does_not_stall_arrived_one(self):
+        """Regression: drain() used to serve in strict global tag order,
+        idling the bus until a small-tag request's *arrival* while an
+        already-arrived larger-tag request waited."""
+        bus = FairQueueBus({0: 0.1, 1: 0.9}, service_cycles=10.0)
+        bus.submit(1, 0.0)  # tag 0, served [0, 10)
+        bus.submit(1, 0.0)  # tag ~11.1 (queued behind core 1's first)
+        # The low-share core's request arrives late (t=11) but carries a
+        # smaller tag (11 < 11.1) than core 1's second request.
+        bus.submit(0, 11.0)
+        completed = bus.drain()
+        assert_work_conserving(bus)
+        by_start = sorted(completed, key=lambda r: r.start)
+        # Core 1's second request (arrived at 0) is served the moment
+        # the bus frees at t=10; the late arrival goes last.
+        assert [r.core_id for r in by_start] == [1, 1, 0]
+        assert by_start[1].start == pytest.approx(10.0)
+        assert by_start[2].start == pytest.approx(20.0)
+
+    def test_tags_are_virtual_starts_not_finishes(self):
+        """A low-share core's first request must not be penalised by its
+        inflated virtual *finish* before it has consumed anything."""
+        bus = FairQueueBus({0: 0.9, 1: 0.1}, service_cycles=10.0)
+        flood(bus, 0, 3)
+        bus.submit(1, 0.0)  # virtual start 0; old finish-tag was 100
+        bus.drain()
+        # Served second (tag ties with core 0's head break by
+        # submission order), not behind the whole flood.
+        assert bus.mean_latency(1) <= 20.0 + 1e-9
+
+    def test_sparse_schedule_stays_work_conserving(self):
+        bus = FairQueueBus({0: 0.25, 1: 0.25, 2: 0.5}, service_cycles=7.0)
+        arrivals = [
+            (0, 0.0), (1, 1.0), (2, 2.5), (0, 30.0), (2, 31.0),
+            (1, 3.0), (0, 90.0), (2, 45.0), (1, 44.0), (0, 44.5),
+        ]
+        for core, arrival in arrivals:
+            bus.submit(core, arrival)
+        completed = bus.drain()
+        assert len(completed) == len(arrivals)
+        assert_work_conserving(bus)
+
+    def test_fcfs_drain_still_serves_in_arrival_order(self):
+        bus = FcfsBus(service_cycles=10.0)
+        for core, arrival in ((0, 12.0), (1, 0.0), (0, 5.0), (1, 40.0)):
+            bus.submit(core, arrival)
+        completed = bus.drain()
+        assert [r.arrival for r in completed] == [0.0, 5.0, 12.0, 40.0]
+        assert_work_conserving(bus)
+
+
 class TestValidation:
     def test_shares_must_fit_capacity(self):
         with pytest.raises(ValueError, match="exceeding"):

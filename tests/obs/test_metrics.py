@@ -1,0 +1,112 @@
+"""Tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, metric_key
+
+
+class TestMetricKey:
+    def test_bare_name(self):
+        assert metric_key("cache.l2.misses", {}) == "cache.l2.misses"
+
+    def test_labels_sorted_into_key(self):
+        key = metric_key("bus.grants", {"core": 3, "bank": 1})
+        assert key == "bus.grants{bank=1,core=3}"
+
+    def test_same_labels_same_key(self):
+        a = metric_key("m", {"a": 1, "b": 2})
+        b = metric_key("m", {"b": 2, "a": 1})
+        assert a == b
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            metric_key("", {})
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = Counter()
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(2.5)
+        gauge.add(-1.0)
+        assert gauge.value == pytest.approx(1.5)
+
+
+class TestRegistry:
+    def test_series_created_on_first_touch(self):
+        registry = MetricsRegistry()
+        registry.counter("a.b").inc()
+        registry.counter("a.b").inc()
+        assert registry.value_of("a.b") == 2
+        assert len(registry) == 1
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        registry.counter("grants", core=0).inc(3)
+        registry.counter("grants", core=1).inc(5)
+        assert registry.value_of("grants", core=0) == 3
+        assert registry.value_of("grants", core=1) == 5
+        assert registry.value_of("grants") is None
+
+    def test_value_of_does_not_create(self):
+        registry = MetricsRegistry()
+        assert registry.value_of("never.touched") is None
+        assert len(registry) == 0
+
+    def test_histogram_and_summary_series(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", bucket_width=10.0).add(25.0)
+        registry.summary("wall").add(1.5)
+        assert registry.histogram("lat").count == 1
+        assert registry.summary("wall").mean == pytest.approx(1.5)
+
+    def test_snapshot_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.gauge("z.gauge").set(1)
+        registry.counter("a.counter").inc()
+        records = registry.snapshot()
+        assert [r["type"] for r in records] == ["counter", "gauge"]
+        assert records[0]["name"] == "a.counter"
+
+    def test_jsonl_roundtrip_and_determinism(self, tmp_path):
+        def populate():
+            registry = MetricsRegistry()
+            registry.counter("c", core=1).inc(7)
+            registry.gauge("g").set(3.5)
+            registry.histogram("h", bucket_width=2.0).add(5.0)
+            registry.summary("s").add(1.0)
+            return registry
+
+        first = populate().write_jsonl(tmp_path / "a.jsonl")
+        second = populate().write_jsonl(tmp_path / "b.jsonl")
+        a = (tmp_path / "a.jsonl").read_bytes()
+        assert a == (tmp_path / "b.jsonl").read_bytes()
+        assert first != second  # distinct paths, identical bytes
+        for line in a.decode().splitlines():
+            record = json.loads(line)
+            assert record["type"] in {
+                "counter", "gauge", "histogram", "summary"
+            }
+
+    def test_totals(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.counter("b").inc(3)
+        registry.gauge("g").set(100)
+        series, counted = registry.totals()
+        assert series == 3
+        assert counted == 5  # gauges excluded

@@ -1,0 +1,100 @@
+"""Tests for observer installation, the null default, and determinism."""
+
+from repro.obs import (
+    NULL_OBSERVER,
+    Observer,
+    get_observer,
+    observed,
+    reset_observer,
+    set_observer,
+)
+
+
+class TestDefaults:
+    def test_default_is_null_and_disabled(self):
+        reset_observer()
+        observer = get_observer()
+        assert observer is NULL_OBSERVER
+        assert not observer.enabled
+
+    def test_null_sinks_drop_everything(self):
+        reset_observer()
+        observer = get_observer()
+        observer.events.emit("anything", 1.0, x=1)
+        assert len(observer.events) == 0
+        with observer.profiler.span("phase"):
+            pass
+        assert observer.profiler.record("phase") is None
+
+    def test_set_and_reset(self):
+        live = Observer()
+        set_observer(live)
+        try:
+            assert get_observer() is live
+            assert get_observer().enabled
+        finally:
+            reset_observer()
+        assert get_observer() is NULL_OBSERVER
+
+
+class TestObservedContext:
+    def test_scopes_installation(self):
+        reset_observer()
+        with observed() as obs:
+            assert get_observer() is obs
+            obs.events.emit("inside", 0.0)
+        assert get_observer() is NULL_OBSERVER
+        assert len(obs.events) == 1
+
+    def test_restores_previous_observer(self):
+        outer = Observer()
+        set_observer(outer)
+        try:
+            with observed():
+                assert get_observer() is not outer
+            assert get_observer() is outer
+        finally:
+            reset_observer()
+
+    def test_restores_on_exception(self):
+        reset_observer()
+        try:
+            with observed():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert get_observer() is NULL_OBSERVER
+
+
+class TestEndToEndDeterminism:
+    def test_seeded_simulation_emits_identical_streams(self):
+        """Two identically-seeded runs must produce byte-identical
+        metrics and event exports — the artefact contract."""
+        from repro.core.config import CONFIGURATIONS
+        from repro.sim.system import QoSSystemSimulator
+        from repro.workloads.composer import single_benchmark_workload
+
+        def run_once():
+            workload = single_benchmark_workload(
+                "bzip2", CONFIGURATIONS["All-Strict"]
+            )
+            with observed() as obs:
+                QoSSystemSimulator(workload).run()
+            return (
+                "\n".join(obs.metrics.to_jsonl_lines()),
+                "\n".join(obs.events.to_jsonl_lines()),
+            )
+
+        first_metrics, first_events = run_once()
+        second_metrics, second_events = run_once()
+        assert first_metrics == second_metrics
+        assert first_events == second_events
+        assert first_events  # non-trivial stream
+
+    def test_footer_mentions_events_and_series(self):
+        with observed() as obs:
+            obs.metrics.counter("a").inc(3)
+            obs.events.emit("e", 1.0)
+        footer = obs.footer_lines()
+        assert any("1 events" in line for line in footer)
+        assert any("1 metric series" in line for line in footer)

@@ -1,0 +1,57 @@
+"""Tests for the phase profiler."""
+
+from repro.obs.profiler import PhaseProfiler
+
+
+class FakeEngine:
+    def __init__(self):
+        self.events_fired = 0
+
+
+class TestSpans:
+    def test_span_accumulates_entries_and_time(self):
+        profiler = PhaseProfiler()
+        with profiler.span("work"):
+            pass
+        with profiler.span("work"):
+            pass
+        record = profiler.record("work")
+        assert record.entries == 2
+        assert record.wall_seconds >= 0.0
+
+    def test_event_source_sampled_across_span(self):
+        profiler = PhaseProfiler()
+        engine = FakeEngine()
+        with profiler.span("run", event_source=engine):
+            engine.events_fired += 17
+        assert profiler.record("run").events_fired == 17
+
+    def test_spans_nest_independently(self):
+        profiler = PhaseProfiler()
+        with profiler.span("outer"):
+            with profiler.span("inner"):
+                pass
+        assert profiler.record("outer").entries == 1
+        assert profiler.record("inner").entries == 1
+
+    def test_exception_still_closes_span(self):
+        profiler = PhaseProfiler()
+        try:
+            with profiler.span("risky"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert profiler.record("risky").entries == 1
+
+    def test_unknown_phase_is_none(self):
+        assert PhaseProfiler().record("never") is None
+
+    def test_lines_one_per_phase(self):
+        profiler = PhaseProfiler()
+        with profiler.span("a"):
+            pass
+        with profiler.span("b"):
+            pass
+        lines = profiler.lines()
+        assert len(lines) == 2
+        assert any(line.startswith("a:") for line in lines)

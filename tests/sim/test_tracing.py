@@ -86,3 +86,52 @@ class TestResourceAudits:
         trace = self.make_trace()
         assert trace.ways_in_use_at(10.0) == 0
         assert trace.cores_in_use_at(10.0) == 0.0
+
+
+class TestMidRunAudits:
+    """Regression: audits used to scan only *closed* segments, so jobs
+    still running at the query time were invisible and oversubscription
+    went undetected until every job had finished."""
+
+    def test_open_segments_counted_mid_run(self):
+        trace = ExecutionTrace()
+        trace.update(0.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.update(2.0, 2, mode=STRICT, ways=7, core_id=1, cpu_share=1.0)
+        # Neither job has finished: both segments are still open.
+        assert trace.ways_in_use_at(5.0) == 14
+        assert trace.cores_in_use_at(5.0) == pytest.approx(2.0)
+
+    def test_mid_run_oversubscription_detected(self):
+        # A (buggy) allocator grants 12 + 10 ways of a 16-way L2 to two
+        # running jobs.  The audit must flag it *while they run*, not
+        # only after finish() closes the segments.
+        trace = ExecutionTrace()
+        trace.update(0.0, 1, mode=STRICT, ways=12, core_id=0, cpu_share=1.0)
+        trace.update(1.0, 2, mode=STRICT, ways=10, core_id=1, cpu_share=1.0)
+        assert trace.ways_in_use_at(3.0) == 22  # > 16: oversubscribed
+        trace.finish(10.0, 1)
+        trace.finish(10.0, 2)
+        assert trace.ways_in_use_at(3.0) == 22  # unchanged once closed
+
+    def test_open_segment_not_active_before_its_start(self):
+        trace = ExecutionTrace()
+        trace.update(4.0, 1, mode=OPP, ways=2, core_id=0, cpu_share=0.5)
+        assert trace.ways_in_use_at(3.0) == 0
+        assert trace.cores_in_use_at(3.0) == 0.0
+        assert trace.cores_in_use_at(4.0) == pytest.approx(0.5)
+
+    def test_breakpoints_include_open_starts(self):
+        trace = ExecutionTrace()
+        trace.update(0.0, 1, mode=STRICT, ways=7, core_id=0, cpu_share=1.0)
+        trace.finish(5.0, 1)
+        trace.update(8.0, 2, mode=OPP, ways=2, core_id=1, cpu_share=0.5)
+        assert trace.breakpoints() == [0.0, 5.0, 8.0]
+
+    def test_mixed_open_and_closed_on_same_core(self):
+        trace = ExecutionTrace()
+        # Job 1's first segment closed at 4.0 by a reconfiguration; its
+        # second segment is still open and must dominate the audit.
+        trace.update(0.0, 1, mode=STRICT, ways=4, core_id=0, cpu_share=1.0)
+        trace.update(4.0, 1, mode=STRICT, ways=9, core_id=0, cpu_share=1.0)
+        assert trace.ways_in_use_at(2.0) == 4
+        assert trace.ways_in_use_at(6.0) == 9

@@ -75,6 +75,85 @@ class TestExecution:
         assert "gold" in out
 
 
+class TestObservabilityFlags:
+    def test_flags_parse_on_perf_commands(self):
+        for command in (["fig7"], ["fig5", "bzip2"], ["faults"]):
+            args = build_parser().parse_args(
+                command + ["--metrics-out", "m.jsonl", "--events-out", "e.jsonl"]
+            )
+            assert args.metrics_out == "m.jsonl"
+            assert args.events_out == "e.jsonl"
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.metrics_out is None
+        assert args.events_out is None
+
+    def test_faults_writes_artifacts_and_footer(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        events = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--max-events",
+                    "2000",
+                    "--metrics-out",
+                    str(metrics),
+                    "--events-out",
+                    str(events),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "observability:" in out
+        assert metrics.exists() and events.exists()
+        from repro.obs import validate_jsonl
+
+        assert validate_jsonl(events) > 0
+
+    def test_event_stream_is_byte_identical_across_runs(self, tmp_path):
+        """The CI determinism contract, in-process: same seeded command,
+        twice, byte-identical JSONL artifacts."""
+        paths = []
+        for tag in ("a", "b"):
+            metrics = tmp_path / f"metrics-{tag}.jsonl"
+            events = tmp_path / f"events-{tag}.jsonl"
+            assert (
+                main(
+                    [
+                        "faults",
+                        "--max-events",
+                        "2000",
+                        "--metrics-out",
+                        str(metrics),
+                        "--events-out",
+                        str(events),
+                    ]
+                )
+                == 0
+            )
+            paths.append((metrics, events))
+        (metrics_a, events_a), (metrics_b, events_b) = paths
+        assert metrics_a.read_bytes() == metrics_b.read_bytes()
+        assert events_a.read_bytes() == events_b.read_bytes()
+
+    def test_observer_restored_after_run(self, tmp_path, capsys):
+        from repro.obs import NULL_OBSERVER, get_observer
+
+        main(
+            [
+                "faults",
+                "--max-events",
+                "500",
+                "--events-out",
+                str(tmp_path / "e.jsonl"),
+            ]
+        )
+        assert get_observer() is NULL_OBSERVER
+
+
 class TestProfileCommand:
     def test_profile_writes_curves(self, tmp_path, capsys):
         out = tmp_path / "curves.json"
