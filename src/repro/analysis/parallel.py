@@ -27,13 +27,25 @@ Workers must be module-level functions and their payloads picklable
 that lives in environment variables (the cache-backend default, the
 miss-cache directory and enable flag) is inherited by workers under
 both fork and spawn because the setters mirror into ``os.environ``.
+
+**Observer aggregation** — when the parent process has a live observer
+installed, each worker runs its point under a *local* observer (worker
+processes never see the parent's in-memory observer), ships the
+telemetry back alongside the result, and the parent folds the worker
+observers into its own **in input order**.  Counters add, gauges take
+the last write in input order, summaries replay their retained samples,
+events rebase onto the parent's sequence space, trace spans append
+verbatim.  Because serial execution visits the same points in the same
+order, ``--jobs N`` produces byte-identical metric snapshots to
+``--jobs 1``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
+from repro.obs import Observer, get_observer, observed
 from repro.util.rng import derive_seed
 
 T = TypeVar("T")
@@ -64,6 +76,27 @@ def point_seed(parent_seed: int, label: object) -> int:
     return derive_seed(parent_seed, f"point-{label}")
 
 
+class _ObservedTask:
+    """Picklable wrapper running one point under a worker-local observer.
+
+    The worker installs a fresh :class:`Observer` (with summary-sample
+    retention, so the parent can merge by exact replay), runs the real
+    function, and returns ``(result, observer)`` — observers are plain
+    data (dicts, lists, dataclasses) and pickle cleanly.
+    """
+
+    __slots__ = ("func",)
+
+    def __init__(self, func: Callable[[T], R]) -> None:
+        self.func = func
+
+    def __call__(self, item: T) -> Tuple[R, Observer]:
+        telemetry = Observer(record_samples=True)
+        with observed(telemetry):
+            result = self.func(item)
+        return result, telemetry
+
+
 def parallel_map(
     func: Callable[[T], R],
     items: Sequence[T],
@@ -78,6 +111,11 @@ def parallel_map(
     a module-level function and every item picklable.  Results are
     always in input order.  Worker counts are capped at ``len(items)``
     — there is no point forking more processes than points.
+
+    When the parent has a live observer, worker telemetry is captured
+    per point and merged back deterministically (see module docstring);
+    with the default null observer, workers run unobserved and nothing
+    is shipped.
     """
     worker_count = resolve_jobs(jobs)
     items = list(items)
@@ -86,5 +124,16 @@ def parallel_map(
     worker_count = min(worker_count, len(items))
     import multiprocessing
 
+    parent_observer = get_observer()
+    if not parent_observer.enabled:
+        with multiprocessing.Pool(worker_count) as pool:
+            return pool.map(func, items, chunksize=chunksize)
+
+    task = _ObservedTask(func)
     with multiprocessing.Pool(worker_count) as pool:
-        return pool.map(func, items, chunksize=chunksize)
+        pairs = pool.map(task, items, chunksize=chunksize)
+    results: List[R] = []
+    for result, telemetry in pairs:  # input order == serial order
+        parent_observer.absorb(telemetry)
+        results.append(result)
+    return results

@@ -119,6 +119,49 @@ def trace_table(result: SystemResult, *, title: str) -> str:
     )
 
 
+def slo_table(result: SystemResult, *, title: str) -> str:
+    """In-run SLO monitoring outcome: who violated, for how long.
+
+    Complements the after-the-fact deadline report: a job can meet its
+    deadline yet have spent most of the run projected to miss it (a
+    near-miss the ``violation fraction`` column exposes), and vice
+    versa a doomed job is flagged long before it fails.
+    """
+    if result.slo is None:
+        raise ValueError(
+            "result has no SLO report; run with observability enabled"
+        )
+    rows = []
+    for job in result.slo.jobs:
+        rows.append(
+            [
+                job.job_id,
+                job.deadline * 1e3,
+                job.violations,
+                job.violation_fraction,
+                None
+                if job.last_projected is None
+                or not job.last_projected < float("inf")
+                else job.last_projected * 1e3,
+                "-"
+                if job.met_deadline is None
+                else ("yes" if job.met_deadline else "no"),
+            ]
+        )
+    return format_table(
+        [
+            "job",
+            "deadline (ms)",
+            "violations",
+            "violation fraction",
+            "last projected (ms)",
+            "met deadline",
+        ],
+        rows,
+        title=title,
+    )
+
+
 def resilience_table(result: SystemResult, *, title: str) -> str:
     """Fault-injection outcome summary for one simulation.
 

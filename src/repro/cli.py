@@ -32,6 +32,7 @@ from repro.analysis.report import (
     observability_lines,
     resilience_table,
     sensitivity_table,
+    slo_table,
     throughput_table,
     trace_table,
     wall_clock_table,
@@ -137,6 +138,9 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         print(render_gantt(result.jobs, result.trace))
         print()
         print(trace_table(result, title=f"{config} — job details"))
+        if result.slo is not None:
+            print()
+            print(slo_table(result, title=f"{config} — SLO monitor"))
         print(
             f"makespan: {result.makespan_cycles / 1e6:.0f} Mcycles\n"
         )
@@ -244,6 +248,91 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Inspect and compare observability artifacts from past runs."""
+    from repro.obs.diff import diff_snapshots
+    from repro.obs.export import (
+        load_events_jsonl,
+        load_metrics_jsonl,
+        summary_dict,
+        write_prometheus,
+        write_summary_json,
+    )
+
+    if args.obs_command == "summarize":
+        records = load_metrics_jsonl(args.metrics)
+        events = load_events_jsonl(args.events) if args.events else None
+        summary = summary_dict(records, events)
+        rows = [
+            ["metric series", summary["series"]],
+            *[
+                [
+                    "  summaries" if kind == "summary" else f"  {kind}s",
+                    count,
+                ]
+                for kind, count in sorted(
+                    summary["series_by_type"].items()
+                )
+            ],
+            ["counter total", summary["counter_total"]],
+        ]
+        if events is not None:
+            rows.append(["events", summary["events"]])
+            rows.append(["event kinds", len(summary["event_kinds"])])
+        print(
+            format_table(
+                ["series", "value"], rows, title=f"obs — {args.metrics}"
+            )
+        )
+        if args.prometheus_out:
+            path = write_prometheus(records, args.prometheus_out)
+            print(f"prometheus text written to {path}")
+        if args.summary_out:
+            path = write_summary_json(
+                records, args.summary_out, events
+            )
+            print(f"summary JSON written to {path}")
+        return 0
+
+    if args.obs_command == "top":
+        records = load_metrics_jsonl(args.metrics)
+        counters = sorted(
+            (
+                record
+                for record in records
+                if record["type"] == "counter"
+            ),
+            key=lambda record: (-record["value"], record["name"]),
+        )
+        rows = [
+            [record["name"], record["value"]]
+            for record in counters[: args.count]
+        ]
+        print(
+            format_table(
+                ["counter", "value"],
+                rows,
+                title=f"top {args.count} counters — {args.metrics}",
+            )
+        )
+        return 0
+
+    if args.obs_command == "diff":
+        baseline = load_metrics_jsonl(args.baseline)
+        current = load_metrics_jsonl(args.current)
+        report = diff_snapshots(
+            baseline,
+            current,
+            rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol,
+        )
+        for line in report.lines():
+            print(line)
+        return 0 if report.clean else 1
+
+    raise AssertionError(f"unknown obs command {args.obs_command!r}")
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     """Capacity-plan a CMP server for a gold/silver mix (Figure 2)."""
     profiles = [
@@ -324,6 +413,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--events-out", default=None, metavar="PATH",
         help="enable observability and write the structured event "
         "stream (JSONL, schema v1) here",
+    )
+    perf.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable observability and write the causal span trees "
+        "(JSONL, one span per line) here",
     )
 
     commands.add_parser("list", help="list workloads and commands")
@@ -428,6 +522,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from a checkpoint written by --checkpoint",
     )
 
+    obs = commands.add_parser(
+        "obs", help="inspect and diff observability artifacts"
+    )
+    obs_commands = obs.add_subparsers(dest="obs_command", required=True)
+
+    obs_summarize = obs_commands.add_parser(
+        "summarize", help="roll up one run's metrics/events artifacts"
+    )
+    obs_summarize.add_argument(
+        "metrics", help="metrics snapshot (JSONL from --metrics-out)"
+    )
+    obs_summarize.add_argument(
+        "--events", default=None,
+        help="event stream (JSONL from --events-out) to include",
+    )
+    obs_summarize.add_argument(
+        "--prometheus-out", default=None, metavar="PATH",
+        help="also write the Prometheus text exposition here",
+    )
+    obs_summarize.add_argument(
+        "--summary-out", default=None, metavar="PATH",
+        help="also write the summary roll-up as canonical JSON here",
+    )
+
+    obs_top = obs_commands.add_parser(
+        "top", help="largest counters in a metrics snapshot"
+    )
+    obs_top.add_argument("metrics")
+    obs_top.add_argument(
+        "-n", "--count", type=int, default=10,
+        help="how many counters to show",
+    )
+
+    obs_diff = obs_commands.add_parser(
+        "diff", help="regression-compare two metrics snapshots"
+    )
+    obs_diff.add_argument("baseline", help="baseline metrics snapshot")
+    obs_diff.add_argument("current", help="current metrics snapshot")
+    obs_diff.add_argument(
+        "--rel-tol", type=float, default=0.0,
+        help="relative tolerance per series (default: exact)",
+    )
+    obs_diff.add_argument(
+        "--abs-tol", type=float, default=0.0,
+        help="absolute tolerance per series (default: exact)",
+    )
+
     cluster = commands.add_parser(
         "cluster", help="capacity-plan a multi-node server (Figure 2)"
     )
@@ -455,6 +596,7 @@ HANDLERS = {
     "faults": _cmd_faults,
     "cluster": _cmd_cluster,
     "profile": _cmd_profile,
+    "obs": _cmd_obs,
 }
 
 
@@ -469,6 +611,7 @@ def _run_observed(args: argparse.Namespace) -> int:
     """
     metrics_out = getattr(args, "metrics_out", None)
     events_out = getattr(args, "events_out", None)
+    trace_out = getattr(args, "trace_out", None)
     observer = Observer()
     set_observer(observer)
     try:
@@ -482,6 +625,9 @@ def _run_observed(args: argparse.Namespace) -> int:
     if events_out:
         path = observer.events.write_jsonl(events_out)
         print(f"events written to {path}")
+    if trace_out:
+        path = observer.trace.write_jsonl(trace_out)
+        print(f"trace written to {path}")
     for line in footer:
         print(line)
     return code
@@ -496,13 +642,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         set_default_backend(args.cache_backend)
     if getattr(args, "no_miss_cache", False):
         misscache.set_enabled(False)
-    if getattr(args, "metrics_out", None) or getattr(args, "events_out", None):
-        if getattr(args, "jobs", 1) != 1:
-            print(
-                "observability captures the coordinating process only; "
-                "use --jobs 1 for complete metrics/event streams",
-                file=sys.stderr,
-            )
+    if (
+        getattr(args, "metrics_out", None)
+        or getattr(args, "events_out", None)
+        or getattr(args, "trace_out", None)
+    ):
+        # --jobs N is fine here: parallel_map captures each worker's
+        # telemetry and merges it deterministically, so the artifacts
+        # match a serial run byte for byte.
         return _run_observed(args)
     return HANDLERS[args.command](args)
 

@@ -162,6 +162,30 @@ class BandwidthModel:
         check_positive("base_penalty", base_penalty)
         return 1.0 + self.queueing_delay_cycles(transfers_per_cycle) / base_penalty
 
+    def breakdown(
+        self, transfers_per_cycle: float, base_penalty: float
+    ) -> dict:
+        """One-call latency decomposition for an offered load.
+
+        Returns utilisation, queueing delay, the penalty multiplier,
+        and the saturation verdict together so instrumentation sites
+        (``QoSSystemSimulator._recompute``) publish a consistent set of
+        gauges from a single evaluation.  The multiplier and verdict
+        are computed with the exact expressions of
+        :meth:`penalty_multiplier` and :meth:`is_saturated`, so
+        switching a call site to ``breakdown`` cannot move a simulated
+        trajectory.
+        """
+        check_positive("base_penalty", base_penalty)
+        utilisation = self.utilisation(transfers_per_cycle)
+        queueing = self.queueing_delay_cycles(transfers_per_cycle)
+        return {
+            "utilisation": utilisation,
+            "queueing_delay_cycles": queueing,
+            "penalty_multiplier": 1.0 + queueing / base_penalty,
+            "saturated": utilisation >= self.saturation_threshold,
+        }
+
     def max_transfers_per_cycle(self) -> float:
         """Block transfers per cycle at 100% bus utilisation."""
         return self.effective_peak_bytes_per_second / (

@@ -1,16 +1,22 @@
 """``repro.obs`` — structured observability for the simulator stack.
 
-Three coordinated pieces (the MGSim-style monitoring layer the ROADMAP
+Coordinated pieces (the MGSim-style monitoring layer the ROADMAP
 calls for):
 
 - :class:`~repro.obs.metrics.MetricsRegistry` — named counters, gauges,
   histograms and summaries with hierarchical dotted names and labels.
 - :class:`~repro.obs.events.EventLog` — an append-only, seed-
   deterministic JSONL event stream with a versioned schema.
+- :class:`~repro.obs.trace.TraceLog` — causal span trees (request
+  traces) with ids derived from simulated identity, never randomness.
 - :class:`~repro.obs.profiler.PhaseProfiler` — context-manager spans
   measuring per-phase wall clock and engine event counts.
+- :class:`~repro.obs.slo.SloMonitor` — projection-based QoS/SLO
+  violation tracking (driven by the system simulator).
+- :mod:`repro.obs.export` / :mod:`repro.obs.diff` — Prometheus-text
+  and summary-JSON exporters, and cross-run regression diffing.
 
-An :class:`Observer` bundles the three.  Instrumentation sites fetch
+An :class:`Observer` bundles the sinks.  Instrumentation sites fetch
 the process-wide observer with :func:`get_observer` and guard with
 ``obs.enabled``::
 
@@ -43,8 +49,26 @@ from repro.obs.events import (
     validate_jsonl,
     validate_record,
 )
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, metric_key
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    metric_key,
+)
 from repro.obs.profiler import PhaseProfiler, PhaseRecord
+from repro.obs.slo import (
+    JobSloSummary,
+    SloMonitor,
+    SloReport,
+)
+from repro.obs.trace import (
+    NullTraceLog,
+    Span,
+    TraceError,
+    TraceLog,
+    derive_trace_id,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -52,14 +76,24 @@ __all__ = [
     "EventLog",
     "EventSchemaError",
     "Gauge",
+    "JobSloSummary",
     "MetricsRegistry",
     "NULL_OBSERVER",
+    "NullMetricsRegistry",
+    "NullTraceLog",
     "Observer",
     "PhaseProfiler",
     "PhaseRecord",
+    "SloMonitor",
+    "SloReport",
+    "Span",
+    "TraceError",
+    "TraceLog",
+    "derive_trace_id",
     "get_observer",
     "metric_key",
     "observed",
+    "reset_observer",
     "set_observer",
     "validate_jsonl",
     "validate_record",
@@ -67,13 +101,17 @@ __all__ = [
 
 
 class Observer:
-    """A live observability hub: registry + event log + profiler."""
+    """A live observability hub: registry + events + traces + profiler."""
 
     enabled = True
 
-    def __init__(self) -> None:
-        self.metrics = MetricsRegistry()
+    def __init__(self, *, record_samples: bool = False) -> None:
+        # ``record_samples`` flows to the registry so worker observers
+        # retain summary samples for the exact-replay merge in
+        # ``parallel_map`` (see MetricsRegistry.merge).
+        self.metrics = MetricsRegistry(record_samples=record_samples)
         self.events = EventLog()
+        self.trace = TraceLog()
         self.profiler = PhaseProfiler()
 
     def footer_lines(self) -> List[str]:
@@ -83,13 +121,34 @@ class Observer:
         is why this never goes into the deterministic JSONL artefacts.
         """
         series, counted = self.metrics.totals()
-        lines = [
+        summary = (
             f"observability: {len(self.events)} events "
             f"({len(self.events.kinds())} kinds), {series} metric series "
-            f"(counter total {counted})",
-        ]
+            f"(counter total {counted})"
+        )
+        if len(self.trace):
+            summary += (
+                f", {len(self.trace)} spans "
+                f"({len(self.trace.trace_ids())} traces)"
+            )
+        lines = [summary]
         lines.extend(f"  phase {line}" for line in self.profiler.lines())
         return lines
+
+    def absorb(self, other: "Observer") -> None:
+        """Fold another observer's telemetry into this one.
+
+        The parent-side half of the worker-telemetry contract: metrics
+        merge (counters add, gauges last-write-wins, summaries replay),
+        events rebase onto this log's sequence space, trace spans append
+        verbatim (their ids embed the traced identity), and profiler
+        phases accumulate.  Applying workers in input order reproduces
+        the serial run's telemetry.
+        """
+        self.metrics.merge(other.metrics)
+        self.events.extend_rebased(other.events.records)
+        self.trace.merge(other.trace)
+        self.profiler.merge(other.profiler)
 
 
 class _NullEventLog(EventLog):
@@ -111,15 +170,21 @@ class NullObserver(Observer):
     """Disabled observer: the default, with no-op sinks.
 
     ``enabled`` is False, so guarded sites skip it entirely; the no-op
-    sinks make even unguarded calls safe (and allocation-free for the
-    event log).
+    sinks make even unguarded calls safe and allocation-free.  The
+    metrics sink matters most: a live registry here would let unguarded
+    ``obs.metrics`` calls accumulate series in a process-global object
+    for the life of the process (a slow leak that also skewed the first
+    *enabled* observer installed afterwards in long-lived processes
+    that reused the registry object).
     """
 
     enabled = False
 
     def __init__(self) -> None:
         super().__init__()
+        self.metrics = NullMetricsRegistry()
         self.events = _NullEventLog()
+        self.trace = NullTraceLog()
         self.profiler = _NullProfiler()
 
 

@@ -22,7 +22,8 @@ per line.
 from __future__ import annotations
 
 import json
-from typing import Iterator, List, Optional
+import math
+from typing import Iterable, Iterator, List, Optional
 
 #: Bump when the envelope or the meaning of a payload field changes.
 SCHEMA_VERSION = 1
@@ -55,6 +56,9 @@ class EventLog:
         """
         if not kind:
             raise EventSchemaError("event kind must be non-empty")
+        t = float(t)
+        if not math.isfinite(t):
+            raise EventSchemaError(f"event time must be finite, got {t!r}")
         for name, value in fields.items():
             if name in _ENVELOPE_FIELDS:
                 raise EventSchemaError(
@@ -65,14 +69,42 @@ class EventLog:
                     f"payload field {name!r} must be a JSON scalar, got "
                     f"{type(value).__name__}"
                 )
+            # NaN/inf are rejected at the emit site: Python's json module
+            # would happily write ``NaN``, which is not JSON and does not
+            # round-trip through strict parsers — validate_record applies
+            # the identical check from the consuming side.
+            if type(value) is float and not math.isfinite(value):
+                raise EventSchemaError(
+                    f"payload field {name!r} is non-finite ({value!r}); "
+                    "canonical JSON cannot represent it portably"
+                )
         record = {
             "v": SCHEMA_VERSION,
             "seq": len(self.records),
-            "t": float(t),
+            "t": t,
             "kind": kind,
         }
         record.update(fields)
         self.records.append(record)
+
+    def extend_rebased(self, records: Iterable[dict]) -> int:
+        """Append already-emitted records, rewriting their ``seq``.
+
+        The worker-telemetry merge of ``parallel_map``: each worker
+        emits a dense local stream, and the parent rebases the streams
+        one worker at a time *in input order*, so the merged stream is
+        dense, deterministic, and identical to the serial run's stream
+        (serial execution visits the same points in the same order).
+        Returns the number of records appended.
+        """
+        appended = 0
+        for record in records:
+            validate_record(record)
+            rebased = dict(record)
+            rebased["seq"] = len(self.records)
+            self.records.append(rebased)
+            appended += 1
+        return appended
 
     def kinds(self) -> List[str]:
         """Distinct event kinds seen, sorted."""
@@ -122,6 +154,12 @@ def validate_record(record: dict, *, expect_seq: Optional[int] = None) -> None:
         if not isinstance(value, _SCALAR_TYPES):
             raise EventSchemaError(
                 f"field {name!r} is not a JSON scalar: {value!r}"
+            )
+        # Mirror of the emit-site check: the validator and the emitter
+        # must agree on what a well-formed stream is.
+        if type(value) is float and not math.isfinite(value):
+            raise EventSchemaError(
+                f"field {name!r} is non-finite ({value!r})"
             )
 
 

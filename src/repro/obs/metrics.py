@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
-from repro.util.stats import Histogram, RunningStats
+from repro.util.stats import Histogram, RunningStats, SampleStats
 
 MetricValue = Union[int, float]
 
@@ -82,7 +82,11 @@ class MetricsRegistry:
     returns the same underlying object.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, record_samples: bool = False) -> None:
+        # ``record_samples`` makes summaries retain their raw samples
+        # (``SampleStats``) so a parent registry can merge them by exact
+        # replay — the worker-telemetry mode of ``parallel_map``.
+        self._record_samples = record_samples
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
@@ -127,8 +131,59 @@ class MetricsRegistry:
         key = metric_key(name, labels)
         summary = self._summaries.get(key)
         if summary is None:
-            summary = self._summaries[key] = RunningStats()
+            summary = self._summaries[key] = (
+                SampleStats() if self._record_samples else RunningStats()
+            )
         return summary
+
+    # -- merging ----------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        The deterministic-aggregation contract of ``parallel_map``:
+        applying each worker's registry *in input order* reproduces the
+        serial run's registry exactly —
+
+        - counters add (commutative; integer increments are exact),
+        - gauges take the incoming value (last write in input order
+          wins, matching serial execution order),
+        - histogram bucket tables add (integers, exact),
+        - summaries replay the incoming side's retained samples when it
+          recorded them (bit-exact vs serial), falling back to pairwise
+          Welford merge (exact count/min/max, mean to float rounding).
+        """
+        for key, counter in other._counters.items():
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters[key] = Counter()
+            mine.value += counter.value
+        for key, gauge in other._gauges.items():
+            mine = self._gauges.get(key)
+            if mine is None:
+                mine = self._gauges[key] = Gauge()
+            mine.value = gauge.value
+        for key, histogram in other._histograms.items():
+            current = self._histograms.get(key)
+            if current is None:
+                current = Histogram(bucket_width=histogram.bucket_width)
+            self._histograms[key] = current.merge(histogram)
+        for key, summary in other._summaries.items():
+            mine = self._summaries.get(key)
+            samples = getattr(summary, "samples", None)
+            if samples is not None:
+                if mine is None:
+                    mine = self._summaries[key] = (
+                        SampleStats()
+                        if self._record_samples
+                        else RunningStats()
+                    )
+                for value in samples:
+                    mine.add(value)
+            elif mine is None:
+                self._summaries[key] = RunningStats().merge(summary)
+            else:
+                self._summaries[key] = mine.merge(summary)
 
     # -- export -----------------------------------------------------------------
 
@@ -221,3 +276,62 @@ class MetricsRegistry:
             len(self),
             sum(counter.value for counter in self._counters.values()),
         )
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: MetricValue = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: MetricValue) -> None:
+        pass
+
+    def add(self, delta: MetricValue) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    def add(self, value: float) -> None:
+        pass
+
+
+class _NullSummary(RunningStats):
+    def add(self, value: float) -> None:
+        pass
+
+
+_NULL_COUNTER = _NullCounter()
+_NULL_GAUGE = _NullGauge()
+_NULL_HISTOGRAM = _NullHistogram(bucket_width=1.0)
+_NULL_SUMMARY = _NullSummary()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """Registry whose instruments are shared no-ops.
+
+    The disabled observer's metrics sink.  A plain ``MetricsRegistry``
+    here would make every *unguarded* ``obs.metrics`` call on the null
+    observer allocate and accumulate series for the life of the process
+    — a slow leak that also broke the zero-cost-when-disabled contract.
+    The accessors hand back singletons that record nothing, so the
+    backing dicts stay empty and ``snapshot()`` stays ``[]`` forever.
+    """
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return _NULL_COUNTER
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return _NULL_GAUGE
+
+    def histogram(
+        self, name: str, *, bucket_width: float = 1.0, **labels: object
+    ) -> Histogram:
+        return _NULL_HISTOGRAM
+
+    def summary(self, name: str, **labels: object) -> RunningStats:
+        return _NULL_SUMMARY

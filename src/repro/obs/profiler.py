@@ -74,6 +74,23 @@ class PhaseProfiler:
                     event_source.events_fired - events_before
                 )
 
+    def merge(self, other: "PhaseProfiler") -> None:
+        """Fold another profiler's accumulated phases into this one.
+
+        Used when ``parallel_map`` hands worker telemetry back to the
+        parent: entry counts, wall seconds, and event counts add.  Wall
+        seconds stay host-facing-footer-only, so additive (rather than
+        max-overlap) accounting is fine — it reads as total CPU time
+        spent in the phase across workers.
+        """
+        for name, record in other.phases.items():
+            mine = self.phases.get(name)
+            if mine is None:
+                mine = self.phases[name] = PhaseRecord(name)
+            mine.entries += record.entries
+            mine.wall_seconds += record.wall_seconds
+            mine.events_fired += record.events_fired
+
     def record(self, name: str) -> Optional[PhaseRecord]:
         """The accumulated record for ``name``, if the phase ever ran."""
         return self.phases.get(name)

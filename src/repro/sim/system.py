@@ -64,6 +64,8 @@ from repro.faults.invariants import InvariantChecker
 from repro.faults.model import FaultConfig, FaultEvent, FaultSchedule
 from repro.faults.resilience import RetryPolicy, downgrade_mode
 from repro.obs import get_observer
+from repro.obs.slo import SloMonitor, SloReport
+from repro.obs.trace import derive_trace_id
 from repro.sim.config import MachineConfig, SimulationConfig
 from repro.sim.engine import (
     RUN_EVENT_BUDGET,
@@ -111,6 +113,11 @@ class _JobRun:
     displaced: bool = False
     retry_attempt: int = 0
     best_effort: bool = False
+    # Causal tracing: the job's root span and its current lifecycle
+    # segment (queued / exec.* / displaced), both None when
+    # observability is off.
+    trace_root: Optional[object] = None
+    segment_span: Optional[object] = None
 
     def miss_increase_fraction(self) -> float:
         """Curve-predicted analogue of the shadow-tag comparison."""
@@ -151,6 +158,9 @@ class SystemResult:
     abort_reason: Optional[str] = None
     resilience: Optional[ResilienceReport] = None
     fault_timeline_digest: Optional[str] = None
+    # In-run QoS/SLO monitoring outcome; populated only when an
+    # observer is live (the monitor exists for the run's duration).
+    slo: Optional[SloReport] = None
 
 
 class QoSSystemSimulator:
@@ -237,6 +247,7 @@ class QoSSystemSimulator:
         self._invariants: Optional[InvariantChecker] = None
         self._started = False
         self._abort_reason: Optional[str] = None
+        self._slo: Optional[SloMonitor] = None
 
     # -- curve and timing helpers -------------------------------------------------
 
@@ -299,6 +310,11 @@ class QoSSystemSimulator:
         if self._started:
             return
         self._started = True
+        if get_observer().enabled:
+            # The monitor itself is pure state; the simulator drives it
+            # and owns all event emission, so runs without an observer
+            # skip the projection work entirely.
+            self._slo = SloMonitor()
         self._mean_gap = self._mean_probe_gap()
         self._probe_rng = self.rng.stream("probes")
         self.events.schedule(0.0, self._on_probe)
@@ -537,6 +553,28 @@ class QoSSystemSimulator:
         )
         self._states[job.job_id] = state
         self._ways_history[job.job_id] = []
+        if obs.enabled:
+            # Trace id derives from (workload, configuration, job id) —
+            # the same job gets the same id in every run, making traces
+            # diffable across runs and mergeable across workers.
+            trace_id = derive_trace_id(
+                "job", self.workload.name, self.config.name, job.job_id
+            )
+            state.trace_root = obs.trace.start_span(
+                trace_id,
+                "job",
+                now,
+                job=job.job_id,
+                benchmark=spec.benchmark,
+                mode=spec.mode.describe(),
+            )
+        if self._slo is not None and job.deadline is not None:
+            self._slo.register(
+                job.job_id,
+                deadline=job.deadline,
+                instructions=float(job.instructions),
+                now=now,
+            )
 
         if spec.mode.kind is ModeKind.OPPORTUNISTIC:
             self._start_opportunistic(state, now)
@@ -563,9 +601,41 @@ class QoSSystemSimulator:
             elif start <= now + 1e-12:
                 self._dispatch_reserved(state, now)
             else:
+                self._trace_segment(state, "queued", now)
                 self.events.schedule(
                     start, self._make_reserved_dispatch(job.job_id)
                 )
+
+    # -- causal tracing -----------------------------------------------------------------
+
+    def _trace_segment(self, state: _JobRun, name: str, now: float) -> None:
+        """Close the job's current lifecycle segment and open ``name``.
+
+        Segments (``queued``, ``exec.opportunistic``, ``exec.reserved``,
+        ``displaced``) are children of the job's root span; contiguous
+        and non-overlapping, so the root's breakdown decomposes the
+        job's end-to-end latency by cause.
+        """
+        obs = get_observer()
+        if not obs.enabled or state.trace_root is None:
+            return
+        if state.segment_span is not None and state.segment_span.end is None:
+            obs.trace.end_span(state.segment_span, now)
+        state.segment_span = obs.trace.start_span(
+            state.trace_root.trace_id, name, now, parent=state.trace_root
+        )
+
+    def _trace_finish(self, state: _JobRun, now: float, status: str) -> None:
+        """Close the job's open segment and root span at a terminal event."""
+        obs = get_observer()
+        if not obs.enabled or state.trace_root is None:
+            return
+        if state.segment_span is not None and state.segment_span.end is None:
+            obs.trace.end_span(state.segment_span, now)
+        state.segment_span = None
+        if state.trace_root.end is None:
+            obs.trace.end_span(state.trace_root, now, status=status)
+        state.trace_root = None
 
     # -- dispatch -----------------------------------------------------------------------
 
@@ -573,6 +643,7 @@ class QoSSystemSimulator:
         state.running = True
         state.reserved_running = False
         state.job.mark_started(now, core_id=-1)
+        self._trace_segment(state, "exec.opportunistic", now)
 
     def _make_reserved_dispatch(self, job_id: int):
         def dispatch(now: float) -> None:
@@ -643,6 +714,9 @@ class QoSSystemSimulator:
         if self.record_trace:
             self.trace.finish(now, state.job.job_id)
         self._terminations += 1
+        self._trace_finish(state, now, "terminated")
+        if self._slo is not None:
+            self._slo.finish(now, state.job.job_id, met_deadline=False)
         obs = get_observer()
         if obs.enabled:
             obs.metrics.counter("sim.jobs.terminated").inc()
@@ -685,6 +759,7 @@ class QoSSystemSimulator:
         self._reserved_cores[core] = state.job.job_id
         state.core_id = core
         state.reserved_running = True
+        self._trace_segment(state, "exec.reserved", now)
         if not state.running:
             state.running = True
             if state.job.state is JobState.ACCEPTED:
@@ -822,13 +897,13 @@ class QoSSystemSimulator:
                 state.cpu_share * mpi * writeback_factor / cpi
             )
         if self.sim_config.enable_bandwidth_model:
-            opp_multiplier = self.bandwidth.penalty_multiplier(
+            bus = self.bandwidth.breakdown(
                 transfers_per_cycle, self.machine.memory_latency
             )
-            self._bus_saturated = self.bandwidth.is_saturated(
-                transfers_per_cycle
-            )
+            opp_multiplier = bus["penalty_multiplier"]
+            self._bus_saturated = bus["saturated"]
         else:
+            bus = None
             opp_multiplier = 1.0
             self._bus_saturated = False
         obs = get_observer()
@@ -836,6 +911,13 @@ class QoSSystemSimulator:
             obs.metrics.gauge("mem.bus.penalty_multiplier").set(
                 opp_multiplier
             )
+            if bus is not None:
+                obs.metrics.gauge("mem.bus.utilisation").set(
+                    bus["utilisation"]
+                )
+                obs.metrics.gauge("mem.bus.queueing_delay_cycles").set(
+                    bus["queueing_delay_cycles"]
+                )
             if self._bus_saturated:
                 obs.metrics.counter("mem.bus.saturated_intervals").inc()
 
@@ -864,6 +946,29 @@ class QoSSystemSimulator:
             self._ways_history[state.job.job_id].append(state.ways)
             self._reschedule_completion(state, now)
             self._reschedule_steal(state, now)
+
+        # SLO projection pass: rates are final for this interval, so
+        # project every monitored in-flight job (including displaced
+        # jobs, whose zero rate projects to infinity — violating until
+        # resources return).  States iterate in admission order, so the
+        # emitted transition events are deterministic.
+        if self._slo is not None:
+            for state in self._states.values():
+                if state.job.state is not JobState.RUNNING:
+                    continue
+                transition = self._slo.observe(
+                    now,
+                    state.job.job_id,
+                    progress=state.progress,
+                    rate=state.rate,
+                )
+                if transition is not None:
+                    obs.events.emit(
+                        "slo." + transition,
+                        now,
+                        job_id=state.job.job_id,
+                        deadline=state.job.deadline,
+                    )
 
         if self._invariants is not None:
             self._invariants.maybe_check()
@@ -919,6 +1024,11 @@ class QoSSystemSimulator:
             self.lac.release(state.reservation, at_time=now)
         if self.record_trace:
             self.trace.finish(now, state.job.job_id)
+        self._trace_finish(state, now, "completed")
+        if self._slo is not None:
+            self._slo.finish(
+                now, state.job.job_id, met_deadline=state.job.met_deadline
+            )
         obs = get_observer()
         if obs.enabled:
             obs.metrics.counter("sim.jobs.completed").inc()
@@ -1112,6 +1222,7 @@ class QoSSystemSimulator:
         if obs.enabled:
             obs.metrics.counter("sim.faults.displacements").inc()
             obs.events.emit("displacement", now, job_id=job.job_id)
+        self._trace_segment(state, "displaced", now)
         if state.reservation is not None:
             self.lac.release(state.reservation, at_time=now)
             state.reservation = None
@@ -1261,6 +1372,7 @@ class QoSSystemSimulator:
         state.running = True
         state.reserved_running = False
         state.core_id = -1
+        self._trace_segment(state, "exec.opportunistic", now)
 
     def _record_downgrade(
         self,
@@ -1301,6 +1413,20 @@ class QoSSystemSimulator:
 
     def _build_result(self, *, partial: bool = False) -> SystemResult:
         obs = get_observer()
+        slo_report: Optional[SloReport] = None
+        if self._slo is not None and len(self._slo):
+            slo_report = self._slo.report(now=self.events.now)
+            if obs.enabled:
+                for summary in slo_report.jobs:
+                    obs.metrics.gauge(
+                        "slo.violation_fraction", job=summary.job_id
+                    ).set(summary.violation_fraction)
+                obs.metrics.gauge("slo.total_violations").set(
+                    slo_report.total_violations
+                )
+                obs.metrics.gauge("slo.jobs_violated").set(
+                    slo_report.jobs_violated
+                )
         if obs.enabled:
             labels = {"configuration": self.config.name}
             obs.metrics.gauge("sim.probes", **labels).set(self._probes)
@@ -1407,4 +1533,5 @@ class QoSSystemSimulator:
             abort_reason=self._abort_reason,
             resilience=resilience,
             fault_timeline_digest=digest,
+            slo=slo_report,
         )

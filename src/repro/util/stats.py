@@ -110,6 +110,28 @@ class RunningStats:
         )
 
 
+class SampleStats(RunningStats):
+    """:class:`RunningStats` that also retains the raw samples.
+
+    Pairwise :meth:`RunningStats.merge` is exact in count/min/max but
+    not bit-exact in the mean (float addition is non-associative), so a
+    parent process merging worker accumulators cannot reproduce the
+    serial run's snapshot byte for byte.  Worker-side registries
+    therefore record with this class and the parent *replays* the
+    samples in input order — the exact additions the serial run would
+    have performed.  Memory is bounded by the worker's sample count,
+    which telemetry summaries keep small (per-job, per-phase numbers).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        super().add(value)
+        self.samples.append(value)
+
+
 @dataclass
 class Histogram:
     """Fixed-width-bucket histogram for coarse distribution summaries."""
@@ -136,6 +158,26 @@ class Histogram:
     def count(self) -> int:
         """Total number of samples."""
         return self._stats.count
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Return a new histogram combining both sets of samples.
+
+        Bucket counts are integers, so the merged bucket table is exact
+        regardless of merge order; the embedded streaming stats merge
+        pairwise (see :meth:`RunningStats.merge`).
+        """
+        if other.bucket_width != self.bucket_width:
+            raise ValueError(
+                f"cannot merge histograms with bucket widths "
+                f"{self.bucket_width} and {other.bucket_width}"
+            )
+        merged = Histogram(bucket_width=self.bucket_width)
+        counts = dict(self._buckets)
+        for index, bucket_count in other._buckets.items():
+            counts[index] = counts.get(index, 0) + bucket_count
+        merged._buckets = counts
+        merged._stats = self._stats.merge(other._stats)
+        return merged
 
     @property
     def stats(self) -> RunningStats:

@@ -33,6 +33,21 @@ def _fail_on_three(x):
     return x
 
 
+def _seed_of(label):
+    return point_seed(7, label)
+
+
+def _instrumented_square(x):
+    from repro.obs import get_observer
+
+    obs = get_observer()
+    obs.metrics.counter("work.items").inc()
+    obs.metrics.gauge("work.last").set(x)
+    obs.metrics.summary("work.value").add(float(x))
+    obs.events.emit("work", float(x), item=x)
+    return x * x
+
+
 class TestParallelMap:
     def test_serial_is_plain_map(self):
         assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
@@ -82,6 +97,16 @@ class TestPointSeed:
     def test_parent_seed_matters(self):
         assert point_seed(1, "a") != point_seed(2, "a")
 
+    def test_stable_across_worker_counts(self):
+        """The seed depends only on (parent seed, label) — never on
+        which worker computed it or how many there were."""
+        labels = [f"point-{index}" for index in range(8)]
+        expected = [point_seed(7, label) for label in labels]
+        for jobs in (1, 2, 4):
+            assert (
+                parallel_map(_seed_of, labels, jobs=jobs) == expected
+            )
+
 
 class TestDriversSerialParallelIdentity:
     """jobs=N must change wall-clock only, never results."""
@@ -102,6 +127,69 @@ class TestDriversSerialParallelIdentity:
                 serial[name].deadline_report
                 == parallel[name].deadline_report
             )
+
+    def test_worker_telemetry_merges_into_parent(self):
+        """With an observer installed, parallel_map must return every
+        worker's telemetry to the parent and merge it in input order,
+        so the artefacts match a serial run byte for byte."""
+        from repro.obs import observed
+
+        items = list(range(6))
+
+        def run(jobs):
+            with observed() as obs:
+                results = parallel_map(
+                    _instrumented_square, items, jobs=jobs
+                )
+            assert results == [i * i for i in items]
+            return (
+                "\n".join(obs.metrics.to_jsonl_lines()),
+                "\n".join(obs.events.to_jsonl_lines()),
+            )
+
+        serial_metrics, serial_events = run(1)
+        parallel_metrics, parallel_events = run(2)
+        assert serial_metrics == parallel_metrics
+        assert serial_events == parallel_events
+        assert '"work.items","type":"counter","value":6' in serial_metrics
+
+    def test_no_observer_means_no_wrapping(self):
+        """Without an observer the pool maps the raw function."""
+        from repro.obs import get_observer, reset_observer
+
+        reset_observer()
+        assert not get_observer().enabled
+        assert parallel_map(_square, list(range(6)), jobs=2) == [
+            i * i for i in range(6)
+        ]
+
+    def test_run_all_configurations_telemetry_identical(self, fake_curves):
+        """The driver-level acceptance check: a seeded experiment's
+        merged metric snapshot is byte-identical at any worker count.
+        Explicit curves keep the in-process curve cache out of the
+        comparison (serial profiles once; N workers profile N times)."""
+        from repro.obs import observed
+
+        def run(jobs):
+            with observed() as obs:
+                run_all_configurations(
+                    "bzip2",
+                    jobs=jobs,
+                    count=4,
+                    sim_config=SIM,
+                    curves=fake_curves,
+                    record_trace=False,
+                )
+            return (
+                "\n".join(obs.metrics.to_jsonl_lines()),
+                "\n".join(obs.events.to_jsonl_lines()),
+                "\n".join(obs.trace.to_jsonl_lines()),
+            )
+
+        serial = run(1)
+        parallel = run(2)
+        assert serial == parallel
+        assert serial[0]  # non-trivial stream
 
     def test_sweep_arrival_rate_identical(self):
         profiles = [

@@ -43,6 +43,23 @@ class TestEmit:
         with pytest.raises(EventSchemaError, match="JSON scalar"):
             EventLog().emit("x", 0.0, payload=[1, 2])
 
+    def test_non_finite_time_rejected(self):
+        for bad in (float("nan"), float("inf")):
+            with pytest.raises(EventSchemaError, match="finite"):
+                EventLog().emit("x", bad)
+
+    def test_non_finite_payload_rejected(self):
+        # json.dumps would happily write the non-JSON token ``NaN``,
+        # breaking every downstream parser — so emit refuses.
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(EventSchemaError, match="non-finite"):
+                EventLog().emit("x", 0.0, value=bad)
+
+    def test_bools_are_not_floats(self):
+        log = EventLog()
+        log.emit("x", 0.0, flag=True)  # must not trip the finite check
+        assert log.records[0]["flag"] is True
+
     def test_kind_queries(self):
         log = EventLog()
         log.emit("a", 0.0)
@@ -69,6 +86,37 @@ class TestSerialisation:
         log.emit("b", 2.0, n=None)
         path = log.write_jsonl(tmp_path / "events.jsonl")
         assert validate_jsonl(path) == 2
+
+
+class TestExtendRebased:
+    def test_appends_with_dense_local_sequence(self):
+        parent, worker = EventLog(), EventLog()
+        parent.emit("local", 0.0)
+        worker.emit("remote", 1.0, n=1)
+        worker.emit("remote", 2.0, n=2)
+        appended = parent.extend_rebased(worker.records)
+        assert appended == 2
+        assert [r["seq"] for r in parent.records] == [0, 1, 2]
+        assert [r["kind"] for r in parent.records] == [
+            "local",
+            "remote",
+            "remote",
+        ]
+        # The source log is untouched.
+        assert [r["seq"] for r in worker.records] == [0, 1]
+
+    def test_rebased_stream_still_validates(self, tmp_path):
+        parent, worker = EventLog(), EventLog()
+        worker.emit("a", 0.0)
+        worker.emit("b", 1.0)
+        parent.extend_rebased(worker.records)
+        parent.extend_rebased(worker.records)
+        path = parent.write_jsonl(tmp_path / "merged.jsonl")
+        assert validate_jsonl(path) == 4
+
+    def test_invalid_incoming_record_rejected(self):
+        with pytest.raises(EventSchemaError, match="missing envelope"):
+            EventLog().extend_rebased([{"kind": "x"}])
 
 
 class TestValidators:
@@ -98,6 +146,14 @@ class TestValidators:
         record = self.good()
         record["t"] = -1.0
         with pytest.raises(EventSchemaError, match="bad event time"):
+            validate_record(record)
+
+    def test_non_finite_payload_rejected_like_emit(self):
+        # The validator and the emitter must agree on the schema: a
+        # record emit() would refuse is a record validate rejects.
+        record = self.good()
+        record["value"] = float("nan")
+        with pytest.raises(EventSchemaError, match="non-finite"):
             validate_record(record)
 
     def test_validate_jsonl_rejects_bad_json(self, tmp_path):

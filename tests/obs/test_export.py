@@ -1,0 +1,153 @@
+"""Tests for the Prometheus/summary exporters and artefact loaders."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    load_events_jsonl,
+    load_metrics_jsonl,
+    parse_metric_key,
+    prometheus_lines,
+    summary_dict,
+    write_prometheus,
+    write_summary_json,
+)
+from repro.obs.metrics import MetricsRegistry, metric_key
+
+
+class TestParseMetricKey:
+    def test_bare_name(self):
+        assert parse_metric_key("cache.l2.misses") == (
+            "cache.l2.misses",
+            {},
+        )
+
+    def test_roundtrips_metric_key(self):
+        key = metric_key("mem.bus.grants", {"core": 3, "bank": 1})
+        name, labels = parse_metric_key(key)
+        assert name == "mem.bus.grants"
+        assert labels == {"bank": "1", "core": "3"}
+
+    def test_unparsable_key_rejected(self):
+        with pytest.raises(ValueError, match="unparsable"):
+            parse_metric_key("{core=1}")
+
+
+def sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("cache.l2.misses", core=0).inc(7)
+    registry.gauge("slo.violation_fraction", job=1).set(0.25)
+    histogram = registry.histogram("bus.latency", bucket_width=10.0)
+    for value in (5.0, 15.0, 15.0):
+        histogram.add(value)
+    summary = registry.summary("job.wall_clock")
+    for value in (1.0, 3.0):
+        summary.add(value)
+    return registry
+
+
+class TestPrometheusLines:
+    def test_full_rendering(self):
+        # Snapshot order: counters, gauges, histograms, summaries.
+        lines = list(prometheus_lines(sample_registry().snapshot()))
+        assert lines == [
+            "# TYPE cache_l2_misses_total counter",
+            'cache_l2_misses_total{core="0"} 7',
+            "# TYPE slo_violation_fraction gauge",
+            'slo_violation_fraction{job="1"} 0.25',
+            "# TYPE bus_latency histogram",
+            'bus_latency_bucket{le="10.0"} 1',
+            'bus_latency_bucket{le="20.0"} 3',
+            'bus_latency_bucket{le="+Inf"} 3',
+            "bus_latency_count 3",
+            "# TYPE job_wall_clock summary",
+            "job_wall_clock_count 2",
+            "job_wall_clock_mean 2.0",
+            "job_wall_clock_min 1.0",
+            "job_wall_clock_max 3.0",
+        ]
+
+    def test_leading_digit_name_escaped(self):
+        records = [{"type": "counter", "name": "2nd.chance", "value": 1}]
+        lines = list(prometheus_lines(records))
+        assert lines[-1].startswith("_2nd_chance_total ")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown snapshot record"):
+            list(prometheus_lines([{"type": "woble", "name": "x"}]))
+
+
+class TestSummaryDict:
+    def test_metrics_only(self):
+        summary = summary_dict(sample_registry().snapshot())
+        assert summary["series"] == 4
+        assert summary["series_by_type"] == {
+            "counter": 1,
+            "gauge": 1,
+            "histogram": 1,
+            "summary": 1,
+        }
+        assert summary["counter_total"] == 7
+        assert summary["top_counters"][0]["name"].startswith(
+            "cache.l2.misses"
+        )
+        assert "events" not in summary
+
+    def test_with_events(self):
+        events = [
+            {"kind": "a", "t": 0.5},
+            {"kind": "b", "t": 1.0},
+            {"kind": "a", "t": 2.0},
+        ]
+        summary = summary_dict([], events)
+        assert summary["events"] == 3
+        assert summary["event_kinds"] == {"a": 2, "b": 1}
+        assert summary["t_first"] == 0.5
+        assert summary["t_last"] == 2.0
+
+
+class TestLoadersAndWriters:
+    def test_metrics_roundtrip(self, tmp_path):
+        registry = sample_registry()
+        path = registry.write_jsonl(tmp_path / "metrics.jsonl")
+        assert load_metrics_jsonl(path) == registry.snapshot()
+
+    def test_metrics_loader_rejects_wrong_shape(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind":"x","t":0.0}\n')
+        with pytest.raises(ValueError, match="not a metrics snapshot"):
+            load_metrics_jsonl(path)
+
+    def test_events_loader_rejects_wrong_shape(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        path.write_text('{"type":"counter","name":"a","value":1}\n')
+        with pytest.raises(ValueError, match="not an event stream"):
+            load_events_jsonl(path)
+
+    def test_loader_rejects_bad_json_with_location(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"type":"counter","name":"a","value":1}\nnope\n')
+        with pytest.raises(ValueError, match=":2: invalid JSON"):
+            load_metrics_jsonl(path)
+
+    def test_write_prometheus_deterministic(self, tmp_path):
+        records = sample_registry().snapshot()
+        write_prometheus(records, tmp_path / "a.txt")
+        write_prometheus(records, tmp_path / "b.txt")
+        assert (tmp_path / "a.txt").read_bytes() == (
+            tmp_path / "b.txt"
+        ).read_bytes()
+
+    def test_write_summary_json_canonical(self, tmp_path):
+        path = write_summary_json(
+            sample_registry().snapshot(), tmp_path / "s.json"
+        )
+        text = (tmp_path / "s.json").read_text()
+        assert path == str(tmp_path / "s.json")
+        assert text.endswith("\n")
+        parsed = json.loads(text)
+        assert (
+            json.dumps(parsed, sort_keys=True, separators=(",", ":")) + "\n"
+            == text
+        )

@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry, metric_key
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    metric_key,
+)
 
 
 class TestMetricKey:
@@ -110,3 +116,75 @@ class TestRegistry:
         series, counted = registry.totals()
         assert series == 3
         assert counted == 5  # gauges excluded
+
+
+class TestNullRegistry:
+    def test_instruments_record_nothing(self):
+        """Regression: the disabled observer's registry used to be a
+        live MetricsRegistry, so unguarded calls leaked series."""
+        registry = NullMetricsRegistry()
+        registry.counter("leak", core=1).inc(5)
+        registry.gauge("leak.gauge").set(3.0)
+        registry.histogram("leak.hist", bucket_width=2.0).add(1.0)
+        registry.summary("leak.summary").add(1.0)
+        assert len(registry) == 0
+        assert registry.snapshot() == []
+        assert registry.value_of("leak", core=1) is None
+        assert registry.totals() == (0, 0)
+
+    def test_instruments_are_shared_singletons(self):
+        registry = NullMetricsRegistry()
+        assert registry.counter("a") is registry.counter("b", core=1)
+        assert registry.gauge("a") is registry.gauge("b")
+
+
+class TestMerge:
+    def test_counters_add_and_gauges_take_incoming(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.counter("c").inc(2)
+        parent.gauge("g").set(1.0)
+        worker.counter("c").inc(3)
+        worker.counter("only.worker").inc(1)
+        worker.gauge("g").set(9.0)
+        parent.merge(worker)
+        assert parent.value_of("c") == 5
+        assert parent.value_of("only.worker") == 1
+        assert parent.value_of("g") == 9.0
+
+    def test_histogram_buckets_add(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.histogram("h", bucket_width=10.0).add(5.0)
+        worker.histogram("h", bucket_width=10.0).add(5.0)
+        worker.histogram("h", bucket_width=10.0).add(15.0)
+        parent.merge(worker)
+        histogram = parent.histogram("h")
+        assert histogram.count == 3
+        assert dict(histogram.buckets()) == {0.0: 2, 10.0: 1}
+
+    def test_sample_replay_matches_serial_exactly(self):
+        """With retained samples the merged summary is bit-identical to
+        the serial registry — the parallel_map artefact contract."""
+        values = [0.1, 0.2, 0.3, 0.7, 1.9, 2.3]
+        serial = MetricsRegistry()
+        for value in values:
+            serial.summary("s").add(value)
+        parent = MetricsRegistry()
+        for chunk in (values[:3], values[3:]):
+            worker = MetricsRegistry(record_samples=True)
+            for value in chunk:
+                worker.summary("s").add(value)
+            parent.merge(worker)
+        assert list(parent.to_jsonl_lines()) == list(
+            serial.to_jsonl_lines()
+        )
+
+    def test_merge_order_reproduces_serial_gauge(self):
+        serial = MetricsRegistry()
+        serial.gauge("last").set(1.0)
+        serial.gauge("last").set(2.0)
+        parent = MetricsRegistry()
+        for value in (1.0, 2.0):
+            worker = MetricsRegistry()
+            worker.gauge("last").set(value)
+            parent.merge(worker)
+        assert parent.value_of("last") == serial.value_of("last")

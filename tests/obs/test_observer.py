@@ -26,6 +26,23 @@ class TestDefaults:
             pass
         assert observer.profiler.record("phase") is None
 
+    def test_null_metrics_never_accumulate(self):
+        """Regression: NullObserver used to carry a live registry, so
+        unguarded instrumentation accumulated series process-wide."""
+        reset_observer()
+        observer = get_observer()
+        observer.metrics.counter("leak").inc(100)
+        observer.metrics.gauge("leak.gauge", core=2).set(1.0)
+        assert len(observer.metrics) == 0
+        assert observer.metrics.snapshot() == []
+
+    def test_null_trace_stores_nothing(self):
+        reset_observer()
+        trace = get_observer().trace
+        span = trace.start_span("deadbeefdeadbeef", "root", 0.0)
+        trace.end_span(span, 1.0)
+        assert len(trace) == 0
+
     def test_set_and_reset(self):
         live = Observer()
         set_observer(live)
@@ -65,6 +82,26 @@ class TestObservedContext:
             pass
         assert get_observer() is NULL_OBSERVER
 
+    def test_nested_contexts_restore_lifo(self):
+        reset_observer()
+        with observed() as outer:
+            with observed() as inner:
+                assert get_observer() is inner
+                assert inner is not outer
+            assert get_observer() is outer
+        assert get_observer() is NULL_OBSERVER
+
+    def test_nested_exception_unwinds_each_level(self):
+        reset_observer()
+        with observed() as outer:
+            try:
+                with observed():
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert get_observer() is outer
+        assert get_observer() is NULL_OBSERVER
+
 
 class TestEndToEndDeterminism:
     def test_seeded_simulation_emits_identical_streams(self):
@@ -98,3 +135,49 @@ class TestEndToEndDeterminism:
         footer = obs.footer_lines()
         assert any("1 events" in line for line in footer)
         assert any("1 metric series" in line for line in footer)
+
+
+class TestAbsorb:
+    def test_absorb_merges_every_sink(self):
+        from repro.obs.trace import derive_trace_id
+
+        parent = Observer()
+        parent.events.emit("parent", 0.0)
+        worker = Observer(record_samples=True)
+        worker.metrics.counter("done").inc(2)
+        worker.metrics.summary("wall").add(1.5)
+        worker.events.emit("worker", 1.0)
+        worker.trace.span(derive_trace_id("w"), "work", 0.0, 1.0)
+        parent.absorb(worker)
+        assert parent.metrics.value_of("done") == 2
+        assert parent.metrics.summary("wall").count == 1
+        assert [r["kind"] for r in parent.events.records] == [
+            "parent",
+            "worker",
+        ]
+        assert [r["seq"] for r in parent.events.records] == [0, 1]
+        assert len(parent.trace) == 1
+
+    def test_absorb_in_order_matches_serial(self):
+        """Absorbing worker observers in input order reproduces what
+        one observer would have recorded serially — byte for byte."""
+        serial = Observer()
+        for index in range(4):
+            serial.metrics.counter("n").inc()
+            serial.metrics.gauge("last").set(float(index))
+            serial.events.emit("step", float(index), i=index)
+
+        parent = Observer()
+        for index in range(4):
+            worker = Observer(record_samples=True)
+            worker.metrics.counter("n").inc()
+            worker.metrics.gauge("last").set(float(index))
+            worker.events.emit("step", float(index), i=index)
+            parent.absorb(worker)
+
+        assert list(parent.metrics.to_jsonl_lines()) == list(
+            serial.metrics.to_jsonl_lines()
+        )
+        assert list(parent.events.to_jsonl_lines()) == list(
+            serial.events.to_jsonl_lines()
+        )

@@ -154,6 +154,149 @@ class TestObservabilityFlags:
         assert get_observer() is NULL_OBSERVER
 
 
+class TestTraceFlag:
+    def test_trace_out_parses_and_defaults_off(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.trace_out is None
+        args = build_parser().parse_args(["fig7", "--trace-out", "t.jsonl"])
+        assert args.trace_out == "t.jsonl"
+
+    def test_faults_writes_trace_artifact(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--max-events",
+                    "2000",
+                    "--trace-out",
+                    str(trace),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "trace written to" in out
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert records, "trace artefact is empty"
+        roots = [r for r in records if r["parent_id"] is None]
+        assert any(r["name"] == "job" for r in roots)
+        # Every span is closed: lifecycle instrumentation is complete.
+        assert all(r["end"] is not None for r in records)
+
+
+class TestObsCommand:
+    def run_artifacts(self, tmp_path):
+        metrics = tmp_path / "metrics.jsonl"
+        events = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "faults",
+                    "--max-events",
+                    "2000",
+                    "--metrics-out",
+                    str(metrics),
+                    "--events-out",
+                    str(events),
+                ]
+            )
+            == 0
+        )
+        return metrics, events
+
+    def test_summarize(self, tmp_path, capsys):
+        metrics, events = self.run_artifacts(tmp_path)
+        capsys.readouterr()
+        prometheus = tmp_path / "prom.txt"
+        summary = tmp_path / "summary.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "summarize",
+                    str(metrics),
+                    "--events",
+                    str(events),
+                    "--prometheus-out",
+                    str(prometheus),
+                    "--summary-out",
+                    str(summary),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "metric series" in out
+        assert "events" in out
+        assert prometheus.exists() and summary.exists()
+        assert "# TYPE" in prometheus.read_text()
+
+    def test_top(self, tmp_path, capsys):
+        metrics, _ = self.run_artifacts(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "top", str(metrics), "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top 3 counters" in out
+
+    def test_diff_clean_and_regression_exit_codes(self, tmp_path, capsys):
+        metrics, _ = self.run_artifacts(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "diff", str(metrics), str(metrics)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        import json
+
+        records = [
+            json.loads(line)
+            for line in metrics.read_text().splitlines()
+        ]
+        for record in records:
+            if record["type"] == "counter":
+                record["value"] += 1
+                break
+        drifted = tmp_path / "drifted.jsonl"
+        drifted.write_text(
+            "".join(
+                json.dumps(r, sort_keys=True, separators=(",", ":")) + "\n"
+                for r in records
+            )
+        )
+        assert main(["obs", "diff", str(metrics), str(drifted)]) == 1
+        out = capsys.readouterr().out
+        assert "regression(s)" in out
+
+    def test_diff_tolerance_flags(self, tmp_path, capsys):
+        metrics = tmp_path / "base.jsonl"
+        current = tmp_path / "current.jsonl"
+        metrics.write_text('{"name":"g","type":"gauge","value":100.0}\n')
+        current.write_text('{"name":"g","type":"gauge","value":101.0}\n')
+        assert main(["obs", "diff", str(metrics), str(current)]) == 1
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "obs",
+                    "diff",
+                    str(metrics),
+                    str(current),
+                    "--rel-tol",
+                    "0.05",
+                ]
+            )
+            == 0
+        )
+
+    def test_obs_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+
 class TestProfileCommand:
     def test_profile_writes_curves(self, tmp_path, capsys):
         out = tmp_path / "curves.json"
