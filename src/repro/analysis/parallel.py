@@ -76,6 +76,46 @@ def point_seed(parent_seed: int, label: object) -> int:
     return derive_seed(parent_seed, f"point-{label}")
 
 
+def worker_fingerprint(_item: object = None) -> dict:
+    """Session state a worker process actually resolved, as plain data.
+
+    Captures the settings that must survive the trip into a
+    multiprocessing worker for ``--jobs N`` to reproduce the serial
+    run: the resolved cache backend and the miss-cache enable flag and
+    directory.  Module-level (picklable) so it can be mapped over a
+    pool; callable inline for the serial baseline.
+    """
+    from repro.analysis import misscache
+    from repro.cache.backend import default_backend
+
+    return {
+        "pid": os.getpid(),
+        "cache_backend": default_backend(),
+        "miss_cache_enabled": misscache.enabled(),
+        "miss_cache_dir": str(misscache.cache_dir()),
+    }
+
+
+def pool_fingerprints(jobs: Optional[int]) -> List[dict]:
+    """Fingerprint the parent plus each prospective worker slot.
+
+    Runs :func:`worker_fingerprint` inline once and then across a pool
+    of ``jobs`` workers (one probe per slot).  ``verify diff`` prints
+    these when a jobs-pair mismatches so backend/miss-cache divergence
+    between parent and workers is visible rather than inferred.
+    """
+    worker_count = resolve_jobs(jobs)
+    fingerprints = [dict(worker_fingerprint(), role="parent")]
+    if worker_count <= 1:
+        return fingerprints
+    import multiprocessing
+
+    with multiprocessing.Pool(worker_count) as pool:
+        probes = pool.map(worker_fingerprint, range(worker_count))
+    fingerprints.extend(dict(probe, role="worker") for probe in probes)
+    return fingerprints
+
+
 class _ObservedTask:
     """Picklable wrapper running one point under a worker-local observer.
 

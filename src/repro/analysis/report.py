@@ -228,6 +228,45 @@ def sensitivity_table(
     )
 
 
+def shape_checks(results: Dict[str, SystemResult]) -> Dict[str, bool]:
+    """Figure-5 curve *shape* invariants as named booleans.
+
+    The qualitative claims of the paper's Figure 5 that must survive
+    any seed or instruction-count choice, as opposed to the exact
+    floats the golden tests pin for one seed: reserved configurations
+    (everything but EqualPart) meet every deadline, no QoS
+    optimisation throughputs *below* the All-Strict baseline, and
+    Hybrid-2 (which layers stealing on top of Hybrid-1's mode mix)
+    stays within a few percent of Hybrid-1 — stealing redistributes
+    work between donors and thieves, so it can land a hair either side
+    of Hybrid-1, but never far away.  Shared by the metamorphic law suite
+    and the golden seed-sweep smoke so both enforce the same shapes.
+    Checks whose configurations are absent from ``results`` are
+    reported as ``True`` (vacuous).
+    """
+    tolerance = 1e-9
+    checks: Dict[str, bool] = {}
+    checks["makespans_positive"] = all(
+        result.makespan_cycles > 0 for result in results.values()
+    )
+    checks["reserved_hit_rate_one"] = all(
+        result.deadline_report.hit_rate == 1.0
+        for name, result in results.items()
+        if name != "EqualPart" and result.deadline_report.considered > 0
+    )
+    if "All-Strict" in results:
+        normalised = normalised_throughputs(results)
+        checks["optimisations_at_least_all_strict"] = all(
+            value >= 1.0 - tolerance for value in normalised.values()
+        )
+        if "Hybrid-1" in normalised and "Hybrid-2" in normalised:
+            checks["hybrid2_close_to_hybrid1"] = (
+                abs(normalised["Hybrid-2"] - normalised["Hybrid-1"])
+                <= 0.05 * normalised["Hybrid-1"]
+            )
+    return checks
+
+
 def miss_cache_lines() -> List[str]:
     """Miss-curve store accounting for bench logs and CLI footers.
 

@@ -17,8 +17,9 @@ multiprocessing workers) switches the whole machine model.
 
 from __future__ import annotations
 
+import contextlib
 import os
-from typing import Optional, Union
+from typing import Iterator, Optional, Union
 
 from repro.cache.basic import SetAssociativeCache
 from repro.cache.fastsim import (
@@ -78,6 +79,34 @@ def set_default_backend(name: Optional[str]) -> None:
         os.environ.pop(_ENV_VAR, None)
     else:
         os.environ[_ENV_VAR] = name
+
+
+@contextlib.contextmanager
+def forced_backend(name: str) -> Iterator[str]:
+    """Temporarily pin the session default backend to ``name``.
+
+    Saves and restores both the in-process default and the
+    ``REPRO_CACHE_BACKEND`` environment mirror, so multiprocessing
+    workers spawned inside the block inherit the forced choice and the
+    session is left exactly as found afterwards — even on exceptions.
+    The differential harness (:mod:`repro.verify.differential`) runs
+    each arm of a backend pair inside one of these blocks.
+    """
+    if name not in BACKENDS:
+        raise ValueError(
+            f"unknown cache backend {name!r}; expected one of {BACKENDS}"
+        )
+    saved_default = _default_backend
+    saved_env = os.environ.get(_ENV_VAR)
+    set_default_backend(name)
+    try:
+        yield name
+    finally:
+        set_default_backend(saved_default)
+        if saved_env is None:
+            os.environ.pop(_ENV_VAR, None)
+        else:
+            os.environ[_ENV_VAR] = saved_env
 
 
 def make_cache(

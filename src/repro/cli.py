@@ -333,6 +333,74 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown obs command {args.obs_command!r}")
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Differential / metamorphic / fuzz verification (repro.verify)."""
+    import json as _json
+
+    from repro.verify import (
+        Scenario,
+        parse_budget,
+        replay_case,
+        run_diff,
+        run_fuzz,
+        run_laws,
+    )
+
+    if args.verify_command == "diff":
+        if args.fig:
+            scenario = Scenario.for_figure(args.fig, seed=args.seed)
+        else:
+            scenario = Scenario(
+                workload=args.workload,
+                configurations=tuple(args.configs)
+                if args.configs
+                else ("All-Strict", "All-Strict+AutoDown"),
+                count=args.count,
+                seed=args.seed,
+                jobs=args.pair_jobs,
+            )
+        report = run_diff(
+            scenario,
+            pairs=tuple(args.pairs),
+            rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol,
+        )
+    elif args.verify_command == "laws":
+        report = run_laws(args.seed, names=args.laws or None)
+    elif args.verify_command == "fuzz":
+        report = run_fuzz(
+            args.seed,
+            budget_seconds=parse_budget(args.budget),
+            max_cases=args.max_cases,
+            out=args.out,
+            rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol,
+            pairs=tuple(args.pairs) if args.pairs else None,
+        )
+    elif args.verify_command == "replay":
+        report = replay_case(
+            args.case, rel_tol=args.rel_tol, abs_tol=args.abs_tol
+        )
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(
+            f"unknown verify command {args.verify_command!r}"
+        )
+
+    for line in report.lines():
+        print(line)
+    if args.json:
+        from pathlib import Path
+
+        path = Path(args.json)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            _json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"report written to {path}")
+    return report.exit_code
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     """Capacity-plan a CMP server for a gold/silver mix (Figure 2)."""
     profiles = [
@@ -569,6 +637,106 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute tolerance per series (default: exact)",
     )
 
+    verify = commands.add_parser(
+        "verify",
+        help="differential, metamorphic, and fuzz verification",
+    )
+    verify_commands = verify.add_subparsers(
+        dest="verify_command", required=True
+    )
+
+    # Tolerances shared by every verify subcommand (default: exact).
+    verify_tol = argparse.ArgumentParser(add_help=False)
+    verify_tol.add_argument(
+        "--rel-tol", type=float, default=0.0,
+        help="relative tolerance per compared value (default: exact)",
+    )
+    verify_tol.add_argument(
+        "--abs-tol", type=float, default=0.0,
+        help="absolute tolerance per compared value (default: exact)",
+    )
+    verify_tol.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the machine-readable report here",
+    )
+
+    verify_diff = verify_commands.add_parser(
+        "diff",
+        help="paired executions: backend / jobs / faults agreement",
+        parents=[verify_tol],
+    )
+    verify_diff.add_argument(
+        "--fig", choices=["fig5", "fig7"], default=None,
+        help="verify the scenario behind a reproduced figure",
+    )
+    verify_diff.add_argument(
+        "--workload", default="bzip2", choices=WORKLOAD_CHOICES,
+        help="workload for a custom scenario (ignored with --fig)",
+    )
+    verify_diff.add_argument(
+        "--configs", nargs="+", default=None,
+        choices=sorted(CONFIGURATIONS), metavar="CONFIG",
+        help="configuration subset for a custom scenario",
+    )
+    verify_diff.add_argument(
+        "--count", type=int, default=10,
+        help="jobs per workload in a custom scenario",
+    )
+    verify_diff.add_argument("--seed", type=int, default=0)
+    verify_diff.add_argument(
+        "--pairs", nargs="+", default=["backend", "jobs", "faults"],
+        choices=["backend", "jobs", "faults"],
+        help="differential pairs to run",
+    )
+    verify_diff.add_argument(
+        "--pair-jobs", type=int, default=2, metavar="N",
+        help="worker count for the parallel arm of the jobs pair",
+    )
+
+    verify_laws = verify_commands.add_parser(
+        "laws",
+        help="metamorphic paper-level laws",
+        parents=[verify_tol],
+    )
+    verify_laws.add_argument("--seed", type=int, default=0)
+    verify_laws.add_argument(
+        "--laws", nargs="+", default=None, metavar="LAW",
+        help="subset of laws to check (default: all)",
+    )
+
+    verify_fuzz = verify_commands.add_parser(
+        "fuzz",
+        help="seeded scenario fuzzing with shrinking",
+        parents=[verify_tol],
+    )
+    verify_fuzz.add_argument("--seed", type=int, default=0)
+    verify_fuzz.add_argument(
+        "--budget", default="60s",
+        help="time budget, e.g. 60s or 2m (default 60s)",
+    )
+    verify_fuzz.add_argument(
+        "--max-cases", type=int, default=None,
+        help="stop after this many cases even within budget",
+    )
+    verify_fuzz.add_argument(
+        "--out", default="verify-case.json", metavar="PATH",
+        help="where to write a shrunk failing case",
+    )
+    verify_fuzz.add_argument(
+        "--pairs", nargs="+", default=None,
+        choices=["backend", "jobs", "faults"],
+        help="pin the differential pairs (default: random per case)",
+    )
+
+    verify_replay = verify_commands.add_parser(
+        "replay",
+        help="re-run a saved verify-case.json",
+        parents=[verify_tol],
+    )
+    verify_replay.add_argument(
+        "case", help="path to a verify-case.json written by fuzz"
+    )
+
     cluster = commands.add_parser(
         "cluster", help="capacity-plan a multi-node server (Figure 2)"
     )
@@ -597,6 +765,7 @@ HANDLERS = {
     "cluster": _cmd_cluster,
     "profile": _cmd_profile,
     "obs": _cmd_obs,
+    "verify": _cmd_verify,
 }
 
 

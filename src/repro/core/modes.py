@@ -97,6 +97,39 @@ class ExecutionMode:
             return PartitionClass.BEST_EFFORT
         return PartitionClass.RESERVED
 
+    @property
+    def throughput_floor(self) -> float:
+        """Guaranteed fraction of the job's Strict throughput.
+
+        The QoS contract each mode makes about the job's CPI target:
+        Strict promises full throughput (floor 1.0), Elastic(X) may run
+        up to X% slower (floor ``1 / (1 + X)`` — the reservation
+        stretch of Section 3.4 read as a rate), and Opportunistic
+        promises nothing (floor 0.0).  Walking the downgrade ladder
+        must never *raise* this floor — a downgrade that demanded more
+        throughput than the mode it replaced would be an upgrade in
+        disguise — which :mod:`repro.verify.laws` checks as a
+        metamorphic law.
+        """
+        if self.kind is ModeKind.STRICT:
+            return 1.0
+        if self.kind is ModeKind.ELASTIC:
+            return 1.0 / (1.0 + self.slack)
+        return 0.0
+
+    @property
+    def guarantee_rank(self) -> int:
+        """Position on the guarantee ladder (0 = Strict, 2 = Opportunistic).
+
+        Strictly increases along any legal downgrade path; used by the
+        verification laws to assert the ladder is monotone.
+        """
+        if self.kind is ModeKind.STRICT:
+            return 0
+        if self.kind is ModeKind.ELASTIC:
+            return 1
+        return 2
+
     def reservation_duration(self, max_wall_clock: float) -> float:
         """How long the requested resources must be reserved.
 
@@ -210,8 +243,13 @@ def is_interchangeable(
     if new.kind is ModeKind.STRICT:
         return True
     if new.kind is ModeKind.ELASTIC:
-        # Stretching by X must still fit before the deadline.
-        return max_wall_clock * (1.0 + new.slack) <= (deadline - arrival)
+        # Stretching by X must still fit before the deadline:
+        # tw * (1 + X) <= td - ta, checked in slack space (X against
+        # ((td - ta) - tw) / tw) rather than by re-multiplying the
+        # duration — the multiplied form can round up past the deadline
+        # for the boundary mode downgrade_to_elastic itself constructs,
+        # misclassifying the paper's own maximal downgrade.
+        return new.slack <= max_elastic_slack(arrival, deadline, max_wall_clock)
     # Opportunistic is deadline-safe only under automatic downgrade,
     # i.e. when a Strict reservation remains at td - tw to fall back to.
     # That requires positive slack (otherwise the fallback must start now).

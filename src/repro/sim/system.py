@@ -162,6 +162,100 @@ class SystemResult:
     # observer is live (the monitor exists for the run's duration).
     slo: Optional[SloReport] = None
 
+    def counter_snapshot(self) -> Dict[str, object]:
+        """Deterministic flat view of every scalar observable.
+
+        The comparison surface for the differential harness
+        (:mod:`repro.verify.differential`): two runs that should be
+        equivalent must produce equal snapshots.  Only values that are
+        pure functions of the simulation trajectory appear — no wall
+        time, no object identities — and per-job fields are keyed by
+        job id so mismatches name the job that diverged.  The SLO and
+        resilience sections are included only when present, because
+        their presence itself is part of the contract under test
+        (observer-off runs and fault-free runs omit them).
+        """
+        snapshot: Dict[str, object] = {
+            "workload": self.workload_name,
+            "configuration": self.configuration_name,
+            "makespan_seconds": self.makespan_seconds,
+            "makespan_cycles": self.makespan_cycles,
+            "throughput.jobs_measured": self.throughput.jobs_measured,
+            "throughput.makespan": self.throughput.makespan,
+            "deadline.considered": self.deadline_report.considered,
+            "deadline.met": self.deadline_report.met,
+            "probes": self.probes,
+            "rejections": self.rejections,
+            "backfills": self.backfills,
+            "terminations": self.terminations,
+            "steal_transfers": self.steal_transfers,
+            "steal_cancellations": self.steal_cancellations,
+            "lac_admission_tests": self.lac_admission_tests,
+            "lac_candidate_windows": self.lac_candidate_windows,
+            "partial": self.partial,
+            "abort_reason": self.abort_reason,
+        }
+        for job in self.jobs:
+            prefix = f"job[{job.job_id}]"
+            snapshot[f"{prefix}.benchmark"] = job.benchmark
+            snapshot[f"{prefix}.state"] = job.state.value
+            snapshot[f"{prefix}.mode"] = job.current_mode.describe()
+            snapshot[f"{prefix}.auto_downgraded"] = job.auto_downgraded
+            snapshot[f"{prefix}.start_time"] = job.start_time
+            snapshot[f"{prefix}.completion_time"] = job.completion_time
+            snapshot[f"{prefix}.executed_instructions"] = (
+                job.executed_instructions
+            )
+            snapshot[f"{prefix}.met_deadline"] = job.met_deadline
+        for job_id in sorted(self.per_job_ways_history):
+            snapshot[f"ways_history[{job_id}]"] = list(
+                self.per_job_ways_history[job_id]
+            )
+        if self.resilience is not None:
+            res = self.resilience
+            snapshot["resilience.faults_injected"] = res.faults_injected
+            snapshot["resilience.displacements"] = res.displacements
+            snapshot["resilience.readmissions"] = res.readmissions
+            snapshot["resilience.readmission_attempts"] = (
+                res.readmission_attempts
+            )
+            snapshot["resilience.downgrade_count"] = res.downgrade_count
+            snapshot["resilience.best_effort_jobs"] = res.best_effort_jobs
+            snapshot["resilience.deferred_dispatches"] = (
+                res.deferred_dispatches
+            )
+            snapshot["resilience.ecc_cancellations"] = res.ecc_cancellations
+            for kind in sorted(res.fault_counts):
+                snapshot[f"resilience.faults[{kind}]"] = res.fault_counts[kind]
+        if self.fault_timeline_digest is not None:
+            snapshot["fault_timeline_digest"] = self.fault_timeline_digest
+        if self.slo is not None:
+            for slo_job in self.slo.jobs:
+                prefix = f"slo[{slo_job.job_id}]"
+                snapshot[f"{prefix}.violations"] = slo_job.violations
+                snapshot[f"{prefix}.violation_fraction"] = (
+                    slo_job.violation_fraction
+                )
+        return snapshot
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical JSON of :meth:`counter_snapshot`.
+
+        Two equivalent runs (backend pair, jobs pair, zero-rate-faults
+        pair modulo the resilience section) hash identically; the hash
+        is what ``verify diff`` reports and what fuzz cases pin.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            self.counter_snapshot(),
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
 
 class QoSSystemSimulator:
     """Simulate one workload under one Table 2 QoS configuration.

@@ -1,0 +1,123 @@
+"""Verification outcomes as plain, machine-readable data.
+
+Every ``repro verify`` subcommand — differential pairs, metamorphic
+laws, fuzzing, case replay — reduces its findings to the same three
+shapes so one renderer and one JSON encoder serve all of them:
+
+- :class:`CheckResult` — one named boolean with detail lines,
+- :class:`PairReport` — the checks for one subject (a differential
+  pair, one law, one fuzz case),
+- :class:`VerifyReport` — a whole subcommand invocation.
+
+The JSON form (``to_dict``) is the machine interface CI consumes; the
+``lines()`` form is what the CLI prints.  Both are deterministic in
+the inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One verified claim: a name, a verdict, and the evidence."""
+
+    name: str
+    passed: bool
+    details: Tuple[str, ...] = ()
+
+    @staticmethod
+    def from_violations(
+        name: str, violations: Sequence[str]
+    ) -> "CheckResult":
+        """Pass iff ``violations`` is empty; keep them as the evidence."""
+        return CheckResult(
+            name=name, passed=not violations, details=tuple(violations)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "details": list(self.details),
+        }
+
+
+@dataclass
+class PairReport:
+    """All checks for one subject (pair, law, or fuzz case)."""
+
+    kind: str  # "backend" / "jobs" / "faults" / law name / "case"
+    subject: str  # scenario or parameter description
+    checks: List[CheckResult] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "subject": self.subject,
+            "passed": self.passed,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    def lines(self) -> List[str]:
+        status = "ok" if self.passed else "FAIL"
+        out = [f"[{status}] {self.kind}: {self.subject}"]
+        for check in self.checks:
+            mark = "pass" if check.passed else "FAIL"
+            out.append(f"  {mark}  {check.name}")
+            out.extend(f"         {detail}" for detail in check.details)
+        return out
+
+
+@dataclass
+class VerifyReport:
+    """One ``repro verify`` invocation's complete outcome."""
+
+    command: str  # "diff" / "laws" / "fuzz" / "replay"
+    reports: List[PairReport] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(report.passed for report in self.reports)
+
+    @property
+    def exit_code(self) -> int:
+        """The process exit code: 0 clean, 1 any mismatch."""
+        return 0 if self.passed else 1
+
+    def failures(self) -> List[PairReport]:
+        return [report for report in self.reports if not report.passed]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "command": self.command,
+            "passed": self.passed,
+            "reports": [report.to_dict() for report in self.reports],
+            "notes": list(self.notes),
+        }
+
+    def lines(self) -> List[str]:
+        out: List[str] = []
+        for report in self.reports:
+            out.extend(report.lines())
+        out.extend(self.notes)
+        checks = sum(len(report.checks) for report in self.reports)
+        failed = len(self.failures())
+        if failed:
+            out.append(
+                f"verify {self.command}: {failed}/{len(self.reports)} "
+                f"subject(s) FAILED ({checks} checks)"
+            )
+        else:
+            out.append(
+                f"verify {self.command}: {len(self.reports)} subject(s), "
+                f"{checks} checks, all clean"
+            )
+        return out

@@ -113,7 +113,7 @@ class MissRatioCurve:
         return None
 
 
-def profile_benchmark(
+def measure_miss_rates(
     profile: BenchmarkProfile,
     *,
     ways_list: Iterable[int] = tuple(range(1, 17)),
@@ -123,15 +123,14 @@ def profile_benchmark(
     warmup: int = 15_000,
     seed: int = 1234,
     backend: Optional[str] = None,
-) -> MissRatioCurve:
-    """Measure ``profile``'s miss-ratio curve by direct cache simulation.
+) -> Dict[int, float]:
+    """Raw per-way miss rates, exactly as the cache measured them.
 
-    For each candidate way count ``w`` the benchmark's trace runs alone
-    through a ``w``-way LRU cache with ``num_sets`` sets (a partition
-    view of the shared L2).  ``warmup`` accesses fill the cache before
-    ``accesses`` measured ones.  ``backend`` selects the cache
-    implementation (:mod:`repro.cache.backend`); both backends produce
-    identical curves.
+    The measurement loop behind :func:`profile_benchmark`, *without*
+    the :class:`MissRatioCurve` monotonicity normalisation — the
+    verification laws check the raw points (more ways never hurts
+    under LRU inclusion), which the normalised curve would hide by
+    construction.
     """
     check_positive("accesses", accesses)
     check_non_negative("warmup", warmup)
@@ -158,6 +157,39 @@ def profile_benchmark(
         addresses, writes = zip(*stream)
         measured = cache.access_block(addresses, writes)
         points[ways] = measured.miss_rate
+    return points
+
+
+def profile_benchmark(
+    profile: BenchmarkProfile,
+    *,
+    ways_list: Iterable[int] = tuple(range(1, 17)),
+    num_sets: int = 64,
+    block_bytes: int = 64,
+    accesses: int = 40_000,
+    warmup: int = 15_000,
+    seed: int = 1234,
+    backend: Optional[str] = None,
+) -> MissRatioCurve:
+    """Measure ``profile``'s miss-ratio curve by direct cache simulation.
+
+    For each candidate way count ``w`` the benchmark's trace runs alone
+    through a ``w``-way LRU cache with ``num_sets`` sets (a partition
+    view of the shared L2).  ``warmup`` accesses fill the cache before
+    ``accesses`` measured ones.  ``backend`` selects the cache
+    implementation (:mod:`repro.cache.backend`); both backends produce
+    identical curves.
+    """
+    points = measure_miss_rates(
+        profile,
+        ways_list=ways_list,
+        num_sets=num_sets,
+        block_bytes=block_bytes,
+        accesses=accesses,
+        warmup=warmup,
+        seed=seed,
+        backend=backend,
+    )
     return MissRatioCurve(
         benchmark=profile.name,
         l2_accesses_per_instruction=profile.l2_accesses_per_instruction,

@@ -1,0 +1,34 @@
+"""Suite-wide pytest configuration.
+
+Two concerns live here because they must be visible to every test
+module:
+
+- the ``--regen-goldens`` flag, which flips the golden-result tests
+  (``tests/test_golden_results.py``) from *compare* to *rewrite* so an
+  intentional calibration change updates ``tests/data/golden_results.json``
+  in the same commit that moves the numbers;
+- Hypothesis profiles: the ``ci`` profile (selected with
+  ``HYPOTHESIS_PROFILE=ci``) derandomises example generation so CI
+  failures replay locally, while the default profile keeps the
+  standard randomised search for development runs.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile("dev", deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/data/golden_results.json from the current "
+            "pipeline instead of comparing against it"
+        ),
+    )

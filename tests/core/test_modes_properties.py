@@ -1,0 +1,181 @@
+"""Property tests for the mode-downgrade arithmetic (Section 3.3).
+
+These complement ``test_modes.py``'s example-based coverage with the
+algebraic claims the downgrade ladder must satisfy for *any* job
+timing: the throughput floor never rises on the way down, the
+guarantee rank strictly descends, the ladder terminates and is inert
+at Opportunistic, downgrade feasibility matches the slack sign, and
+every ``ExecutionMode`` survives a checkpoint v2 round trip exactly.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import CONFIGURATIONS
+from repro.core.modes import (
+    ExecutionMode,
+    ModeKind,
+    downgrade_to_elastic,
+    is_interchangeable,
+    max_elastic_slack,
+    opportunistic_window,
+    time_slack,
+)
+from repro.faults.checkpoint import (
+    CHECKPOINT_VERSION,
+    SimulationCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.faults.resilience import downgrade_mode
+from repro.sim.config import MachineConfig, SimulationConfig
+from repro.workloads.composer import single_benchmark_workload
+
+timings = st.tuples(
+    st.floats(min_value=0.0, max_value=10.0),  # arrival
+    st.floats(min_value=0.01, max_value=5.0),  # max wall clock
+    st.floats(min_value=0.0, max_value=3.0),  # slack multiple of tw
+).map(
+    lambda t: (t[0], t[0] + t[1] * (1.0 + t[2]), t[1])
+)  # (arrival, deadline, max_wall_clock)
+
+slacks = st.floats(min_value=0.001, max_value=1.0)
+
+
+def _ladder(start: ExecutionMode, elastic_slack: float):
+    """The full downgrade path from ``start`` (inclusive)."""
+    path = [start]
+    mode = start
+    for _ in range(5):
+        mode = downgrade_mode(mode, elastic_slack=elastic_slack)
+        if mode is None:
+            break
+        path.append(mode)
+    return path
+
+
+class TestLadderMonotonicity:
+    @given(slack=slacks)
+    @settings(max_examples=100, deadline=None)
+    def test_floor_never_rises_and_rank_descends(self, slack):
+        for start in (
+            ExecutionMode.strict(),
+            ExecutionMode.elastic(slack),
+            ExecutionMode.opportunistic(),
+        ):
+            path = _ladder(start, slack)
+            for higher, lower in zip(path, path[1:]):
+                assert lower.throughput_floor <= higher.throughput_floor
+                assert lower.guarantee_rank > higher.guarantee_rank
+
+    @given(slack=slacks)
+    @settings(max_examples=50, deadline=None)
+    def test_ladder_terminates_and_covers_all_rungs(self, slack):
+        path = _ladder(ExecutionMode.strict(), slack)
+        assert [mode.kind for mode in path] == [
+            ModeKind.STRICT,
+            ModeKind.ELASTIC,
+            ModeKind.OPPORTUNISTIC,
+        ]
+
+    @given(slack=slacks)
+    @settings(max_examples=50, deadline=None)
+    def test_idempotent_at_opportunistic(self, slack):
+        """Opportunistic is the ladder's fixed point: stepping down
+        again yields nothing (there is no rung below)."""
+        bottom = ExecutionMode.opportunistic()
+        assert downgrade_mode(bottom, elastic_slack=slack) is None
+        assert bottom.throughput_floor == 0.0
+        assert bottom.guarantee_rank == 2
+
+    @given(a=slacks, b=slacks)
+    @settings(max_examples=100, deadline=None)
+    def test_floor_monotone_in_slack(self, a, b):
+        lo, hi = sorted((a, b))
+        assert (
+            ExecutionMode.elastic(hi).throughput_floor
+            <= ExecutionMode.elastic(lo).throughput_floor
+            <= ExecutionMode.strict().throughput_floor
+        )
+
+
+class TestDowngradeFeasibility:
+    @given(timing=timings)
+    @settings(max_examples=200, deadline=None)
+    def test_elastic_downgrade_matches_slack_sign(self, timing):
+        arrival, deadline, tw = timing
+        slack = time_slack(arrival, deadline, tw)
+        mode = downgrade_to_elastic(arrival, deadline, tw)
+        if slack <= 0.0:
+            assert mode is None
+        else:
+            assert mode is not None and mode.kind is ModeKind.ELASTIC
+            assert mode.slack == pytest.approx(
+                max_elastic_slack(arrival, deadline, tw)
+            )
+            # The maximal downgrade the module itself constructs must
+            # count as interchangeable (the boundary case).
+            assert is_interchangeable(
+                ExecutionMode.strict(),
+                mode,
+                arrival=arrival,
+                deadline=deadline,
+                max_wall_clock=tw,
+            )
+            assert mode.throughput_floor <= 1.0
+
+    @given(timing=timings)
+    @settings(max_examples=200, deadline=None)
+    def test_opportunistic_window_consistent(self, timing):
+        arrival, deadline, tw = timing
+        window = opportunistic_window(arrival, deadline, tw)
+        if time_slack(arrival, deadline, tw) <= 0.0:
+            assert window is None
+        else:
+            assert window == pytest.approx(deadline - tw)
+            assert arrival <= window <= deadline
+
+    @given(timing=timings, extra=st.floats(min_value=1e-6, max_value=2.0))
+    @settings(max_examples=200, deadline=None)
+    def test_oversized_slack_never_interchangeable(self, timing, extra):
+        arrival, deadline, tw = timing
+        limit = max_elastic_slack(arrival, deadline, tw)
+        assume(limit + extra > limit)  # skip float-absorbed increments
+        assert not is_interchangeable(
+            ExecutionMode.strict(),
+            ExecutionMode.elastic(limit + extra),
+            arrival=arrival,
+            deadline=deadline,
+            max_wall_clock=tw,
+        )
+
+
+class TestCheckpointRoundTrip:
+    """Modes embedded in workloads survive checkpoint v2 exactly."""
+
+    @pytest.mark.parametrize("config_name", sorted(CONFIGURATIONS))
+    def test_mode_mix_round_trips(self, tmp_path, config_name):
+        spec = single_benchmark_workload(
+            "bzip2", CONFIGURATIONS[config_name], count=10, seed=7
+        )
+        checkpoint = SimulationCheckpoint(
+            version=CHECKPOINT_VERSION,
+            events_fired=0,
+            sim_time=0.0,
+            workload=spec,
+            machine=MachineConfig(),
+            sim_config=SimulationConfig(),
+            fault_config=None,
+            record_trace=False,
+        )
+        path = save_checkpoint(checkpoint, tmp_path / "modes.ckpt")
+        loaded = load_checkpoint(path)
+        assert loaded.version == CHECKPOINT_VERSION
+        restored = [job.mode for job in loaded.workload.jobs]
+        original = [job.mode for job in spec.jobs]
+        assert restored == original  # exact, including Elastic slack
+        for before, after in zip(original, restored):
+            assert after.slack == before.slack
+            assert after.throughput_floor == before.throughput_floor
+            assert after.guarantee_rank == before.guarantee_rank

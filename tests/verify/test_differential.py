@@ -1,0 +1,112 @@
+"""Tests for the differential pair harness (repro.verify.differential).
+
+The pairs themselves are expensive (each runs the scenario twice), so
+the passing-path tests use one heavily reduced scenario shared across
+the module; the cheap structural tests (scenario validation, report
+shape, pair dispatch) run at full breadth.
+"""
+
+import pytest
+
+from repro.verify import PAIR_NAMES, Scenario, run_diff, run_pair
+
+#: Small enough for test latency, large enough to exercise stealing,
+#: auto-downgrade, and the traced event stream.
+REDUCED = dict(
+    count=3,
+    seed=0,
+    jobs=2,
+    instructions_per_job=1_000_000,
+    profile_num_sets=16,
+    profile_accesses=2_000,
+    profile_warmup=500,
+)
+
+
+class TestScenario:
+    def test_defaults_are_valid(self):
+        scenario = Scenario()
+        assert scenario.workload == "bzip2"
+        assert scenario.jobs >= 2
+
+    def test_rejects_unknown_configuration(self):
+        with pytest.raises(ValueError, match="unknown configuration"):
+            Scenario(configurations=("All-Strict", "Mystery"))
+
+    def test_rejects_empty_configurations(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Scenario(configurations=())
+
+    def test_rejects_serial_jobs(self):
+        with pytest.raises(ValueError, match="jobs >= 2"):
+            Scenario(jobs=1)
+
+    def test_for_figure(self):
+        fig7 = Scenario.for_figure("fig7", seed=3)
+        assert fig7.configurations == (
+            "All-Strict",
+            "All-Strict+AutoDown",
+        )
+        assert fig7.seed == 3
+        fig5 = Scenario.for_figure("fig5")
+        assert len(fig5.configurations) == 5
+        with pytest.raises(ValueError, match="fig5 or fig7"):
+            Scenario.for_figure("fig9")
+
+    def test_round_trips_through_dict(self):
+        scenario = Scenario(workload="Mix-1", **REDUCED)
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            Scenario.from_dict({"workload": "bzip2", "turbo": True})
+
+    def test_mix_workload_lists_role_benchmarks(self):
+        assert len(Scenario(workload="Mix-1").benchmarks()) > 1
+        assert Scenario(workload="bzip2").benchmarks() == ["bzip2"]
+
+
+class TestPairDispatch:
+    def test_unknown_pair_rejected(self):
+        with pytest.raises(ValueError, match="unknown pair"):
+            run_pair(Scenario(), "threads")
+
+    def test_pair_names_cover_the_redundancy_axes(self):
+        assert PAIR_NAMES == ("backend", "jobs", "faults")
+
+
+@pytest.fixture(scope="module")
+def reduced_scenario():
+    return Scenario(
+        workload="bzip2",
+        configurations=("All-Strict", "All-Strict+AutoDown"),
+        **REDUCED,
+    )
+
+
+class TestPairsAgree:
+    """The seeded pipeline really is redundancy-invariant."""
+
+    @pytest.mark.parametrize("pair", PAIR_NAMES)
+    def test_pair_passes(self, reduced_scenario, pair):
+        report = run_pair(reduced_scenario, pair)
+        assert report.kind == pair
+        failed = [
+            (check.name, check.details)
+            for check in report.checks
+            if not check.passed
+        ]
+        assert report.passed, failed
+
+    def test_run_diff_aggregates_all_pairs(self, reduced_scenario):
+        report = run_diff(reduced_scenario)
+        assert report.command == "diff"
+        assert [r.kind for r in report.reports] == list(PAIR_NAMES)
+        assert report.passed and report.exit_code == 0
+
+    def test_faults_pair_skips_equalpart(self):
+        """EqualPart rejects fault configs; an EqualPart-only scenario
+        makes the faults pair vacuously clean rather than an error."""
+        scenario = Scenario(configurations=("EqualPart",), **REDUCED)
+        report = run_pair(scenario, "faults")
+        assert report.passed

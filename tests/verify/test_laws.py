@@ -1,0 +1,65 @@
+"""Tests for the metamorphic law engine (repro.verify.laws)."""
+
+import pytest
+
+from repro.verify import LAWS, run_laws
+
+
+class TestLawRegistry:
+    def test_expected_laws_present(self):
+        assert set(LAWS) == {
+            "miss-curve-monotone",
+            "mode-downgrade-floor",
+            "core-permutation-symmetry",
+            "fair-queue-conservation",
+            "figure5-shapes",
+        }
+
+    def test_laws_carry_descriptions(self):
+        for law in LAWS.values():
+            assert law.description
+
+    def test_unknown_law_rejected(self):
+        with pytest.raises(ValueError, match="unknown law"):
+            run_laws(0, names=["no-such-law"])
+
+
+class TestRunLaws:
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_all_laws_hold(self, seed):
+        report = run_laws(seed)
+        assert report.command == "laws"
+        assert len(report.reports) == len(LAWS)
+        failed = {
+            law.kind: [
+                detail
+                for check in law.checks
+                if not check.passed
+                for detail in check.details
+            ]
+            for law in report.failures()
+        }
+        assert report.passed, failed
+        assert report.exit_code == 0
+
+    def test_subset_selection(self):
+        report = run_laws(
+            0, names=["mode-downgrade-floor", "fair-queue-conservation"]
+        )
+        assert [r.kind for r in report.reports] == [
+            "mode-downgrade-floor",
+            "fair-queue-conservation",
+        ]
+        assert report.passed
+
+    def test_report_is_machine_readable(self):
+        report = run_laws(0, names=["mode-downgrade-floor"])
+        payload = report.to_dict()
+        assert payload["command"] == "laws"
+        assert payload["passed"] is True
+        (law,) = payload["reports"]
+        assert law["kind"] == "mode-downgrade-floor"
+        assert law["checks"][0]["passed"] is True
+        rendered = report.lines()
+        assert any(line.startswith("[ok]") for line in rendered)
+        assert "all clean" in rendered[-1]
