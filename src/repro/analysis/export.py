@@ -111,11 +111,12 @@ def results_to_dict(
 def write_json(
     payload: Dict, path: Union[str, Path], *, indent: int = 2
 ) -> Path:
-    """Write a serialised payload to ``path``; returns the path."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=indent, sort_keys=True))
-    return path
+    """Write a serialised payload to ``path`` atomically; returns the path."""
+    from repro.util.atomicio import write_atomic_text
+
+    return write_atomic_text(
+        Path(path), json.dumps(payload, indent=indent, sort_keys=True)
+    )
 
 
 def export_result(

@@ -21,12 +21,17 @@ produce identical curves (pinned by the differential suite), so a curve
 profiled under either is valid for both.
 
 Entries are atomic single-JSON files named ``<digest>.json``; writes go
-through a temp file + ``os.replace`` so concurrent workers never
-observe partial entries.  The store is enabled by default; disable with
-:func:`set_enabled` or the ``REPRO_MISS_CACHE`` environment variable
-(``0``/``off`` — the CLI's ``--no-miss-cache``).  Hit/miss/store
-counters are surfaced by :func:`stats` and rendered by
-``analysis/report.py``.
+through :func:`repro.util.atomicio.write_atomic_text` (fsync'd temp
+file + ``os.replace``) so concurrent workers never observe partial
+entries and a power cut never tears one.  An entry that is nonetheless
+unreadable (manual editing, bit rot, a store written by a pre-fsync
+build) is **quarantined** on read — renamed to ``<digest>.corrupt`` and
+counted — rather than silently deleted, so the evidence survives for
+inspection while the curve is transparently re-profiled.  The store is
+enabled by default; disable with :func:`set_enabled` or the
+``REPRO_MISS_CACHE`` environment variable (``0``/``off`` — the CLI's
+``--no-miss-cache``).  Hit/miss/store/quarantine counters are surfaced
+by :func:`stats` and rendered by ``analysis/report.py``.
 """
 
 from __future__ import annotations
@@ -36,9 +41,10 @@ import hashlib
 import inspect
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Iterable, Optional
+
+from repro.util.atomicio import write_atomic_text
 
 from repro.workloads.benchmarks import BenchmarkProfile
 from repro.workloads.profiler import (
@@ -54,8 +60,12 @@ _cache_dir: Optional[Path] = None
 _enabled: Optional[bool] = None  # None = follow the environment
 _fingerprint: Optional[str] = None
 
-#: Process-wide counters: disk hits, disk misses, entries written.
-_counters = {"hits": 0, "misses": 0, "stores": 0}
+#: Process-wide counters: disk hits, disk misses, entries written,
+#: corrupt entries quarantined on read.
+_counters = {"hits": 0, "misses": 0, "stores": 0, "quarantined": 0}
+
+#: Suffix given to quarantined (unreadable) entries.
+QUARANTINE_SUFFIX = ".corrupt"
 
 
 # -- configuration -----------------------------------------------------------
@@ -193,8 +203,11 @@ def load_curve(
 ) -> Optional[MissRatioCurve]:
     """Return the stored curve for this configuration, or ``None``.
 
-    A corrupt entry (truncated write from a killed process, manual
-    editing) counts as a miss and is deleted so it gets re-profiled.
+    A corrupt entry (torn write from a crashed pre-fsync build, manual
+    editing) counts as a miss and is quarantined — renamed to
+    ``<digest>.corrupt`` — instead of raising or being deleted: the
+    curve gets re-profiled and re-stored under the original name while
+    the damaged bytes stay on disk for post-mortem inspection.
     """
     if not enabled():
         return None
@@ -212,15 +225,29 @@ def load_curve(
     except FileNotFoundError:
         _counters["misses"] += 1
         return None
-    except (ValueError, KeyError, OSError):
+    except (ValueError, KeyError, TypeError, OSError):
         _counters["misses"] += 1
-        try:
-            path.unlink()
-        except OSError:
-            pass
+        _quarantine(path)
         return None
     _counters["hits"] += 1
     return curve
+
+
+def _quarantine(path: Path) -> Optional[Path]:
+    """Move an unreadable entry aside; return its new path if moved.
+
+    The rename is atomic, so a concurrent reader of the same corrupt
+    entry either sees it (and re-quarantines onto the same name — the
+    replace is idempotent) or already finds it gone and takes the plain
+    miss path.
+    """
+    target = path.with_suffix(QUARANTINE_SUFFIX)
+    try:
+        os.replace(path, target)
+    except OSError:
+        return None
+    _counters["quarantined"] += 1
+    return target
 
 
 def store_curve(
@@ -234,10 +261,12 @@ def store_curve(
 ) -> Optional[Path]:
     """Persist ``curve`` for this configuration; return its path.
 
-    The write is atomic (temp file + rename) so a concurrent reader
-    either sees the complete entry or none.  Returns ``None`` when the
-    store is disabled or the directory is unwritable — memoisation is
-    an optimisation, never a hard dependency.
+    The write is atomic and durable (fsync'd temp file + rename via
+    :mod:`repro.util.atomicio`) so a concurrent reader either sees the
+    complete entry or none, and a crash mid-write never leaves a torn
+    file at the entry's name.  Returns ``None`` when the store is
+    disabled or the directory is unwritable — memoisation is an
+    optimisation, never a hard dependency.
     """
     if not enabled():
         return None
@@ -248,8 +277,7 @@ def store_curve(
         accesses=accesses,
         seed=seed,
     )
-    directory = cache_dir()
-    path = directory / f"{key}.json"
+    path = cache_dir() / f"{key}.json"
     payload = {
         "benchmark": profile.name,
         "num_sets": num_sets,
@@ -259,20 +287,7 @@ def store_curve(
         "curve": curve_to_dict(curve),
     }
     try:
-        directory.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(directory), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        write_atomic_text(path, json.dumps(payload, sort_keys=True))
     except OSError:
         return None
     _counters["stores"] += 1
@@ -280,22 +295,31 @@ def store_curve(
 
 
 def clear() -> int:
-    """Delete every stored entry; return how many were removed."""
+    """Delete every stored entry (quarantined included); return the count."""
     directory = cache_dir()
     removed = 0
     if directory.is_dir():
-        for entry in directory.glob("*.json"):
-            try:
-                entry.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", f"*{QUARANTINE_SUFFIX}"):
+            for entry in directory.glob(pattern):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
     return removed
 
 
 def entry_count() -> int:
-    """Number of entries currently on disk."""
+    """Number of readable entries currently on disk."""
     directory = cache_dir()
     if not directory.is_dir():
         return 0
     return sum(1 for _ in directory.glob("*.json"))
+
+
+def quarantine_count() -> int:
+    """Number of quarantined (corrupt) entries currently on disk."""
+    directory = cache_dir()
+    if not directory.is_dir():
+        return 0
+    return sum(1 for _ in directory.glob(f"*{QUARANTINE_SUFFIX}"))

@@ -137,12 +137,69 @@ class _ObservedTask:
         return result, telemetry
 
 
+def _robust_pool_map(
+    task: Callable[[T], R],
+    items: List[T],
+    worker_count: int,
+    *,
+    task_timeout: float,
+    task_retries: int,
+) -> List[R]:
+    """Pool map that survives hung or killed workers.
+
+    Each item is submitted as its own task and collected with a
+    per-task timeout.  A worker that crashes (``SIGKILL``, OOM, a
+    segfaulting extension) loses its in-flight task — the result never
+    arrives and the wait times out; a hung worker looks identical.
+    Timed-out items are retried in a **fresh** pool up to
+    ``task_retries`` times (the old pool is ``terminate()``'d, so a
+    wedged worker cannot leak), and items still failing after that run
+    **serially in the parent** — the point is recomputed rather than
+    silently dropped, so results stay complete and in input order.
+
+    Exceptions *raised by the task itself* are not retried: they
+    propagate exactly as in the serial path — a deterministic bug
+    would fail every retry anyway, and hiding it behind retries would
+    only triple the time to the traceback.
+    """
+    import multiprocessing
+
+    results: List[Optional[R]] = [None] * len(items)
+    pending = list(range(len(items)))
+    for _attempt in range(task_retries + 1):
+        if not pending:
+            break
+        pool = multiprocessing.Pool(min(worker_count, len(pending)))
+        try:
+            handles = {
+                index: pool.apply_async(task, (items[index],))
+                for index in pending
+            }
+            survivors: List[int] = []
+            for index in pending:
+                try:
+                    results[index] = handles[index].get(task_timeout)
+                except multiprocessing.TimeoutError:
+                    survivors.append(index)
+        finally:
+            # terminate(), not close(): a hung/killed worker would make
+            # close()+join() wait forever on work that will never finish.
+            pool.terminate()
+            pool.join()
+        pending = survivors
+    for index in pending:  # serial fallback, parent process
+        results[index] = task(items[index])
+    return results  # type: ignore[return-value]
+
+
 def parallel_map(
     func: Callable[[T], R],
     items: Sequence[T],
     *,
     jobs: Optional[int] = 1,
     chunksize: int = 1,
+    task_timeout: Optional[float] = None,
+    task_retries: int = 1,
 ) -> List[R]:
     """Map ``func`` over ``items``, optionally across processes.
 
@@ -152,10 +209,20 @@ def parallel_map(
     always in input order.  Worker counts are capped at ``len(items)``
     — there is no point forking more processes than points.
 
+    ``task_timeout`` (seconds) arms the crash-resilient path: any item
+    whose worker dies or hangs is retried in a fresh pool up to
+    ``task_retries`` times and finally recomputed serially in the
+    parent (see :func:`_robust_pool_map`).  The default (``None``)
+    keeps the fast ``Pool.map`` path with no liveness monitoring.
+    Exceptions raised by ``func`` itself always propagate, on both
+    paths.
+
     When the parent has a live observer, worker telemetry is captured
     per point and merged back deterministically (see module docstring);
     with the default null observer, workers run unobserved and nothing
-    is shipped.
+    is shipped.  On the resilient path the merge happens after all
+    points complete, still in input order, so retries and fallbacks
+    cannot reorder telemetry.
     """
     worker_count = resolve_jobs(jobs)
     items = list(items)
@@ -166,12 +233,29 @@ def parallel_map(
 
     parent_observer = get_observer()
     if not parent_observer.enabled:
+        if task_timeout is not None:
+            return _robust_pool_map(
+                func,
+                items,
+                worker_count,
+                task_timeout=task_timeout,
+                task_retries=task_retries,
+            )
         with multiprocessing.Pool(worker_count) as pool:
             return pool.map(func, items, chunksize=chunksize)
 
     task = _ObservedTask(func)
-    with multiprocessing.Pool(worker_count) as pool:
-        pairs = pool.map(task, items, chunksize=chunksize)
+    if task_timeout is not None:
+        pairs = _robust_pool_map(
+            task,
+            items,
+            worker_count,
+            task_timeout=task_timeout,
+            task_retries=task_retries,
+        )
+    else:
+        with multiprocessing.Pool(worker_count) as pool:
+            pairs = pool.map(task, items, chunksize=chunksize)
     results: List[R] = []
     for result, telemetry in pairs:  # input order == serial order
         parent_observer.absorb(telemetry)

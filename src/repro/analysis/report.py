@@ -282,11 +282,14 @@ def miss_cache_lines() -> List[str]:
     if consulted == 0:
         return []
     hit_rate = counters["hits"] / consulted
-    return [
+    line = (
         f"miss-curve cache: {counters['hits']}/{consulted} curve lookups "
         f"served from disk ({hit_rate:.0%}), {counters['stores']} stored, "
-        f"{misscache.entry_count()} entries on disk",
-    ]
+        f"{misscache.entry_count()} entries on disk"
+    )
+    if counters.get("quarantined"):
+        line += f", {counters['quarantined']} corrupt entries quarantined"
+    return [line]
 
 
 def observability_lines() -> List[str]:

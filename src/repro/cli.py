@@ -401,6 +401,79 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the admission/allocation server until drained (SIGTERM)."""
+    import asyncio
+
+    from repro.serve import ServerConfig, serve_main
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        cores=args.cores,
+        cache_ways=args.cache_ways,
+        bandwidth_share=args.bandwidth_share,
+        queue_limit=args.queue_limit,
+        max_inflight=args.max_inflight,
+        max_loop_lag=args.max_loop_lag,
+        default_timeout=args.default_timeout,
+        drain_grace=args.drain_grace,
+        breaker_trip_after=args.breaker_trip_after,
+        breaker_recover_after=args.breaker_recover_after,
+        seed=args.seed,
+        metrics_out=args.serve_metrics_out,
+        events_out=args.serve_events_out,
+    )
+    return asyncio.run(serve_main(config))
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Offer a seeded bursty schedule to a running server; report."""
+    import asyncio
+    import json as _json
+
+    from repro.serve import LoadConfig, LoadGenerator, build_schedule
+
+    config = LoadConfig(
+        seed=args.seed,
+        requests=args.requests,
+        tenants=args.tenants,
+        mean_rate=args.mean_rate,
+        burst_factor=args.burst_factor,
+    )
+    schedule = build_schedule(config)
+    generator = LoadGenerator(
+        args.host, args.port,
+        connections=args.connections,
+        time_scale=args.time_scale,
+    )
+    report = asyncio.run(generator.run(schedule))
+    payload = report.to_dict()
+    server = payload.pop("server", None)
+    print(_json.dumps(payload, indent=2, sort_keys=True))
+    if server is not None:
+        accounting = server.get("accounting", {})
+        print(
+            f"server: offered={accounting.get('offered')} "
+            f"admitted={accounting.get('admitted')} "
+            f"rejected={accounting.get('rejected')} "
+            f"shed={accounting.get('shed')} "
+            f"conserves={accounting.get('conserves')}"
+        )
+    if args.json:
+        from repro.util.atomicio import write_atomic_text
+
+        payload["server"] = server
+        write_atomic_text(
+            args.json,
+            _json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        )
+        print(f"report written to {args.json}")
+    if not report.conserves:
+        return 1
+    return 0 if report.transport_errors == 0 else 1
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
     """Capacity-plan a CMP server for a gold/silver mix (Figure 2)."""
     profiles = [
@@ -737,6 +810,91 @@ def build_parser() -> argparse.ArgumentParser:
         "case", help="path to a verify-case.json written by fuzz"
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="run the admission/allocation server (SIGTERM drains)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8181,
+        help="TCP port (0 = pick a free one and print it)",
+    )
+    serve.add_argument("--cores", type=int, default=4)
+    serve.add_argument("--cache-ways", type=int, default=16)
+    serve.add_argument("--bandwidth-share", type=float, default=1.0)
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="bounded admit queue; beyond it requests are shed",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=256,
+        help="in-flight admissions above which health degrades",
+    )
+    serve.add_argument(
+        "--max-loop-lag", type=float, default=0.25,
+        help="event-loop lag (seconds) that counts as overload",
+    )
+    serve.add_argument(
+        "--default-timeout", type=float, default=2.0,
+        help="decision deadline for requests that do not set one",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds to let queued work finish during drain",
+    )
+    serve.add_argument(
+        "--breaker-trip-after", type=int, default=5,
+        help="consecutive overloaded ticks before degrading a rung",
+    )
+    serve.add_argument(
+        "--breaker-recover-after", type=int, default=20,
+        help="consecutive healthy ticks before recovering a rung",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    # dest names avoid the shared --metrics-out/--events-out plumbing:
+    # the server owns its observer for its whole lifetime and flushes
+    # artifacts at drain, not at command exit.
+    serve.add_argument(
+        "--metrics-out", dest="serve_metrics_out", default=None,
+        metavar="PATH",
+        help="write the final metrics snapshot here on drain",
+    )
+    serve.add_argument(
+        "--events-out", dest="serve_events_out", default=None,
+        metavar="PATH",
+        help="write the event stream here on drain",
+    )
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="drive a running server with seeded bursty load",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8181)
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--requests", type=int, default=500)
+    loadgen.add_argument("--tenants", type=int, default=8)
+    loadgen.add_argument(
+        "--mean-rate", type=float, default=100.0,
+        help="offered requests/second (mean; bursts exceed it)",
+    )
+    loadgen.add_argument(
+        "--burst-factor", type=float, default=4.0,
+        help="on-phase rate multiplier (1 = smooth Poisson)",
+    )
+    loadgen.add_argument(
+        "--connections", type=int, default=8,
+        help="concurrent keep-alive client connections",
+    )
+    loadgen.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="multiply all inter-arrival gaps (0.1 = 10x faster)",
+    )
+    loadgen.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the load report as JSON here",
+    )
+
     cluster = commands.add_parser(
         "cluster", help="capacity-plan a multi-node server (Figure 2)"
     )
@@ -766,6 +924,8 @@ HANDLERS = {
     "profile": _cmd_profile,
     "obs": _cmd_obs,
     "verify": _cmd_verify,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -388,3 +388,23 @@ class LocalAdmissionController:
     def cancel(self, reservation: Reservation) -> None:
         """Drop a reservation entirely (job rejected downstream)."""
         self.release(reservation, at_time=0.0)
+
+    def prune(self, *, before: float) -> int:
+        """Forget reservations that ended at or before ``before``.
+
+        Batch experiments never need this — a run books tens of
+        reservations and exits.  A long-running admission *service*
+        does: the timeline otherwise accumulates every reservation
+        ever granted, and both :meth:`earliest_fit` (candidate starts)
+        and :meth:`window_fits` (breakpoints) scan it linearly, so
+        admission latency would grow without bound.  Pruning strictly-
+        past reservations cannot change any admission decision at
+        ``now >= before``: a reservation with ``end <= before`` can
+        neither overlap a future window nor contribute a candidate
+        start at or after ``before``.  Returns how many were dropped.
+        """
+        check_non_negative("before", before)
+        kept = [r for r in self._reservations if r.end > before]
+        dropped = len(self._reservations) - len(kept)
+        self._reservations = kept
+        return dropped

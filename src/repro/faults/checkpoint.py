@@ -91,12 +91,16 @@ def checkpoint_simulator(
 def save_checkpoint(
     checkpoint: SimulationCheckpoint, path: PathLike
 ) -> Path:
-    """Write ``checkpoint`` to ``path``; returns the path written."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    return path
+    """Write ``checkpoint`` to ``path``; returns the path written.
+
+    Atomic + fsync'd (:mod:`repro.util.atomicio`): a checkpoint is the
+    recovery artefact of last resort, so a crash *while writing it*
+    must never destroy the previous good checkpoint at the same path.
+    """
+    from repro.util.atomicio import write_atomic_bytes
+
+    payload = pickle.dumps(checkpoint, protocol=pickle.HIGHEST_PROTOCOL)
+    return write_atomic_bytes(Path(path), payload)
 
 
 def load_checkpoint(path: PathLike) -> SimulationCheckpoint:

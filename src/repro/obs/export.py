@@ -149,6 +149,11 @@ def prometheus_lines(records: List[dict]) -> Iterator[str]:
             raise ValueError(f"unknown snapshot record type {kind!r}")
 
 
+def prometheus_text(records: List[dict]) -> str:
+    """The full Prometheus exposition as one string (for ``/metrics``)."""
+    return "\n".join(prometheus_lines(records)) + "\n"
+
+
 def summary_dict(
     records: List[dict], events: Optional[List[dict]] = None
 ) -> dict:

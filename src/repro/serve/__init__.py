@@ -1,0 +1,73 @@
+"""``repro.serve`` — QoS admission control as an overload-safe service.
+
+The paper's per-node admission test (Section 5) wrapped in a
+long-running asyncio server with the robustness features a service
+needs that a library call does not: health-gated admission, bounded
+queues with typed load shedding, per-request decision deadlines,
+retry-with-backoff hints, a circuit breaker that degrades down the
+Strict → Elastic → Opportunistic mode ladder under sustained overload,
+and a graceful drain on SIGTERM.  The conservation law —
+``admitted + rejected + shed == offered`` — holds at every instant,
+including mid-drain.
+
+See DESIGN.md §12 for the architecture walk-through.
+"""
+
+from repro.serve.controller import (
+    ActiveJob,
+    ServeAccounting,
+    ServeController,
+)
+from repro.serve.health import (
+    HealthMonitor,
+    HealthSnapshot,
+    HealthState,
+    HealthThresholds,
+    LoopLagProbe,
+)
+from repro.serve.loadgen import (
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    ScheduledRequest,
+    build_schedule,
+)
+from repro.serve.protocol import (
+    AdmitRequest,
+    Category,
+    Decision,
+    DecisionOutcome,
+    ProtocolError,
+    parse_mode,
+    render_mode,
+)
+from repro.serve.server import QosServer, ServerConfig, serve_main
+from repro.serve.shedding import CircuitBreaker, RetryAdvisor
+
+__all__ = [
+    "ActiveJob",
+    "AdmitRequest",
+    "Category",
+    "CircuitBreaker",
+    "Decision",
+    "DecisionOutcome",
+    "HealthMonitor",
+    "HealthSnapshot",
+    "HealthState",
+    "HealthThresholds",
+    "LoadConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "LoopLagProbe",
+    "ProtocolError",
+    "QosServer",
+    "RetryAdvisor",
+    "ScheduledRequest",
+    "ServeAccounting",
+    "ServeController",
+    "ServerConfig",
+    "serve_main",
+    "build_schedule",
+    "parse_mode",
+    "render_mode",
+]

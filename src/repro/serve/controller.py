@@ -1,0 +1,400 @@
+"""The service-side admission pipeline around the LAC.
+
+:class:`ServeController` is the single place every offered request is
+turned into exactly one typed :class:`~repro.serve.protocol.Decision`,
+which makes the service's conservation law —
+``admitted + rejected + shed == offered`` — checkable by construction:
+both the decision path (:meth:`decide`) and the shed path
+(:meth:`shed`) funnel through one accounting object.
+
+The decision path composes, in order:
+
+1. **breaker clamp** — the circuit breaker's current mode ceiling is
+   applied (or, open breaker, the request is shed);
+2. **LAC admission test** — the paper's Section 5 earliest-fit search
+   over the reservation timeline, against wall-clock time;
+3. **downgrade ladder** — a rejected request that allows downgrade
+   walks Strict → Elastic(X) → Opportunistic one rung at a time
+   (reusing :mod:`repro.faults.resilience`), re-probing the LAC per
+   rung, exactly like the fault-recovery path does for displaced jobs;
+4. **retry hints** — failures pick up an exponential-backoff-with-
+   jitter ``retry_after`` from the :class:`RetryAdvisor`.
+
+Admitted jobs are tracked until released (client call) or expired
+(reservation end / wall-clock budget), bounding in-flight state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.admission import LocalAdmissionController, Reservation
+from repro.core.job import Job
+from repro.core.modes import (
+    ExecutionMode,
+    ModeKind,
+    max_elastic_slack,
+)
+from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
+from repro.obs import get_observer
+from repro.serve.protocol import (
+    AdmitRequest,
+    Category,
+    Decision,
+    DecisionOutcome,
+)
+from repro.serve.shedding import CircuitBreaker, RetryAdvisor
+
+
+@dataclass
+class ServeAccounting:
+    """Request conservation ledger: every offer gets one outcome."""
+
+    offered: int = 0
+    admitted: int = 0
+    downgraded: int = 0  # subset of admitted
+    rejected: int = 0
+    shed: int = 0
+    released: int = 0
+    expired: int = 0
+    unhandled_errors: int = 0
+    by_outcome: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, decision: Decision) -> None:
+        self.offered += 1
+        category = decision.outcome.category
+        if category is Category.ADMITTED:
+            self.admitted += 1
+            if decision.outcome is DecisionOutcome.ADMIT_DOWNGRADED:
+                self.downgraded += 1
+        elif category is Category.REJECTED:
+            self.rejected += 1
+        else:
+            self.shed += 1
+        key = decision.outcome.wire
+        self.by_outcome[key] = self.by_outcome.get(key, 0) + 1
+
+    @property
+    def conserves(self) -> bool:
+        """The law the smoke test asserts under 2x overload."""
+        return self.admitted + self.rejected + self.shed == self.offered
+
+    def to_dict(self) -> dict:
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "downgraded": self.downgraded,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "released": self.released,
+            "expired": self.expired,
+            "unhandled_errors": self.unhandled_errors,
+            "conserves": self.conserves,
+            "by_outcome": dict(sorted(self.by_outcome.items())),
+        }
+
+
+@dataclass
+class ActiveJob:
+    """An admitted job still holding capacity."""
+
+    job_id: int
+    tenant: str
+    mode: ExecutionMode
+    reservation: Optional[Reservation]
+    expires_at: float
+
+
+class ServeController:
+    """Turns admit requests into decisions; owns all accounting."""
+
+    def __init__(
+        self,
+        capacity: ResourceVector,
+        *,
+        breaker: Optional[CircuitBreaker] = None,
+        advisor: Optional[RetryAdvisor] = None,
+        default_elastic_slack: float = 0.5,
+    ) -> None:
+        self.lac = LocalAdmissionController(capacity)
+        self.breaker = breaker or CircuitBreaker()
+        self.advisor = advisor or RetryAdvisor()
+        self.default_elastic_slack = default_elastic_slack
+        self.accounting = ServeAccounting()
+        self.active: Dict[int, ActiveJob] = {}
+        self._ids = itertools.count(1)
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def capacity(self) -> ResourceVector:
+        return self.lac.capacity
+
+    @property
+    def inflight(self) -> int:
+        return len(self.active)
+
+    # -- the decision path ------------------------------------------------
+
+    def decide(self, request: AdmitRequest, *, now: float) -> Decision:
+        """Run the full admission pipeline for one request."""
+        decision = self._decide(request, now)
+        self.accounting.record(decision)
+        self._observe(decision, now)
+        return decision
+
+    def shed(
+        self, outcome: DecisionOutcome, reason: str, *, now: float,
+        tenant: str = "", retryable_hint: bool = True,
+    ) -> Decision:
+        """Account a server-side shed (queue full, deadline, drain…)."""
+        if outcome.category is not Category.SHED:
+            raise ValueError(f"{outcome} is not a shed outcome")
+        retry_after = None
+        if outcome.retryable and retryable_hint:
+            retry_after = self.advisor.advise(tenant or "*")
+        decision = Decision(
+            outcome=outcome, reason=reason, retry_after=retry_after
+        )
+        self.accounting.record(decision)
+        self._observe(decision, now)
+        return decision
+
+    def _decide(self, request: AdmitRequest, now: float) -> Decision:
+        clamped = self.breaker.clamp(request.mode)
+        if clamped is None:
+            return Decision(
+                outcome=DecisionOutcome.SHED_BREAKER,
+                reason=(
+                    "circuit breaker open: sustained overload, node is "
+                    "shedding all new work"
+                ),
+                retry_after=self.advisor.advise(request.tenant),
+            )
+        mode, breaker_downgraded = clamped
+        if breaker_downgraded and not request.allow_downgrade:
+            # The client insists on its mode; under a lowered ceiling
+            # that is a shed (server-side refusal), not a rejection.
+            return Decision(
+                outcome=DecisionOutcome.SHED_BREAKER,
+                reason=(
+                    f"breaker ceiling is {self.breaker.ceiling.value}; "
+                    f"request pins {request.mode.kind.value} and forbids "
+                    "downgrade"
+                ),
+                retry_after=self.advisor.advise(request.tenant),
+            )
+
+        if not request.resources.fits_within(self.capacity):
+            return Decision(
+                outcome=DecisionOutcome.REJECT_INFEASIBLE,
+                reason=(
+                    f"request {request.resources} exceeds node capacity "
+                    f"{self.capacity} — no amount of waiting helps"
+                ),
+            )
+
+        tried = []
+        while True:
+            job, decision = self._probe(request, mode, now)
+            if decision.accepted:
+                downgraded = breaker_downgraded or bool(tried)
+                return self._admit(
+                    request, job, decision, mode, now,
+                    downgraded=downgraded,
+                )
+            tried.append(mode)
+            next_mode = (
+                self._next_rung(request, mode, now)
+                if request.allow_downgrade
+                else None
+            )
+            if next_mode is None:
+                return Decision(
+                    outcome=DecisionOutcome.REJECT_CAPACITY,
+                    reason=decision.reason,
+                    retry_after=self.advisor.advise(request.tenant),
+                    extra={
+                        "modes_tried": [
+                            m.describe() for m in tried
+                        ]
+                    },
+                )
+            mode = next_mode
+
+    def _probe(self, request: AdmitRequest, mode: ExecutionMode, now: float):
+        """One LAC admission test under ``mode``."""
+        timeslot = TimeslotRequest(
+            max_wall_clock=request.max_wall_clock,
+            deadline=(
+                now + request.deadline_in
+                if request.deadline_in is not None
+                else None
+            ),
+        )
+        job = Job(
+            job_id=next(self._ids),
+            benchmark=request.job or request.tenant,
+            target=QoSTarget(request.resources, timeslot, mode),
+            arrival_time=now,
+            instructions=1,
+        )
+        return job, self.lac.admit(job, now=now)
+
+    def _next_rung(
+        self, request: AdmitRequest, mode: ExecutionMode, now: float
+    ) -> Optional[ExecutionMode]:
+        """The next mode down the ladder that can still help.
+
+        Strict drops to the *largest interchangeable* Elastic(X) when
+        the job has deadline slack (the stretched reservation may fit
+        where the tight one did not), else straight to Opportunistic.
+        Elastic drops to Opportunistic.  Opportunistic has nowhere to
+        go — but an Opportunistic probe never fails admission anyway.
+        """
+        if mode.kind is ModeKind.STRICT:
+            if request.deadline_in is not None:
+                slack = max_elastic_slack(
+                    now, now + request.deadline_in, request.max_wall_clock
+                )
+                if slack > 0.0:
+                    return ExecutionMode.elastic(slack)
+            return ExecutionMode.opportunistic()
+        if mode.kind is ModeKind.ELASTIC:
+            return ExecutionMode.opportunistic()
+        return None
+
+    def _admit(
+        self,
+        request: AdmitRequest,
+        job: Job,
+        lac_decision,
+        mode: ExecutionMode,
+        now: float,
+        *,
+        downgraded: bool,
+    ) -> Decision:
+        reservation = lac_decision.reservation
+        if reservation is not None:
+            expires_at = reservation.end
+        else:
+            # Opportunistic: no reservation; hold in-flight state for
+            # the job's own wall-clock budget at most.
+            expires_at = now + request.max_wall_clock
+        self.active[job.job_id] = ActiveJob(
+            job_id=job.job_id,
+            tenant=request.tenant,
+            mode=mode,
+            reservation=reservation,
+            expires_at=expires_at,
+        )
+        self.advisor.reset(request.tenant)
+        outcome = (
+            DecisionOutcome.ADMIT_DOWNGRADED
+            if downgraded
+            else DecisionOutcome.ADMIT
+        )
+        reason = lac_decision.reason
+        if downgraded and request.mode != mode:
+            reason = (
+                f"{request.mode.describe()} infeasible; granted "
+                f"{mode.describe()} — {lac_decision.reason}"
+            )
+        return Decision(
+            outcome=outcome,
+            reason=reason,
+            job_id=job.job_id,
+            granted_mode=mode,
+            reserved_start=(
+                reservation.start if reservation is not None else None
+            ),
+            reserved_end=(
+                reservation.end
+                if reservation is not None and reservation.end != float("inf")
+                else None
+            ),
+        )
+
+    # -- lifecycle --------------------------------------------------------
+
+    def release(self, job_id: int, *, now: float) -> bool:
+        """Client-driven early completion; frees remaining reservation."""
+        active = self.active.pop(job_id, None)
+        if active is None:
+            return False
+        if active.reservation is not None:
+            try:
+                self.lac.release(active.reservation, at_time=now)
+            except ValueError:
+                pass  # already expired off the timeline
+        self.accounting.released += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter("serve.released").inc()
+        return True
+
+    def expire(self, *, now: float) -> int:
+        """Drop in-flight records whose hold has lapsed; returns count.
+
+        Reservations end on their own on the LAC timeline; this only
+        bounds the *in-flight table* (and with it the health gate's
+        inflight signal) so abandoned jobs cannot pin the server into
+        permanent overload.
+        """
+        lapsed = [
+            job_id
+            for job_id, active in self.active.items()
+            if active.expires_at <= now
+        ]
+        for job_id in lapsed:
+            del self.active[job_id]
+        # Keep the reservation timeline bounded too: a long-running
+        # service would otherwise scan every reservation it ever booked
+        # on each admission test.
+        self.lac.prune(before=now)
+        if lapsed:
+            self.accounting.expired += len(lapsed)
+            obs = get_observer()
+            if obs.enabled:
+                obs.metrics.counter("serve.expired").inc(len(lapsed))
+        return len(lapsed)
+
+    # -- telemetry --------------------------------------------------------
+
+    def _observe(self, decision: Decision, now: float) -> None:
+        obs = get_observer()
+        if not obs.enabled:
+            return
+        obs.metrics.counter("serve.offered").inc()
+        obs.metrics.counter(
+            "serve.decisions", outcome=decision.outcome.wire
+        ).inc()
+        obs.metrics.gauge("serve.inflight").set(len(self.active))
+        obs.events.emit(
+            "serve.decision",
+            now,
+            outcome=decision.outcome.wire,
+            category=decision.outcome.category.value,
+            job_id=decision.job_id,
+        )
+
+    def stats_dict(self, *, now: float) -> dict:
+        return {
+            "accounting": self.accounting.to_dict(),
+            "breaker": self.breaker.to_dict(),
+            "inflight": self.inflight,
+            "capacity": {
+                "cores": self.capacity.cores,
+                "cache_ways": self.capacity.cache_ways,
+                "bandwidth_share": self.capacity.bandwidth_share,
+            },
+            "lac": {
+                "admission_tests": self.lac.stats.admission_tests,
+                "acceptances": self.lac.stats.acceptances,
+                "rejections": self.lac.stats.rejections,
+                "reservations": len(self.lac.reservations()),
+            },
+            "now": round(now, 6),
+        }

@@ -1,0 +1,176 @@
+"""Health gates for the admission server: queue, in-flight, loop lag.
+
+The server refuses work *before* it hurts, based on three signals it
+can read cheaply on every request:
+
+- **queue depth** — admit requests waiting for the decision worker;
+- **in-flight count** — admitted jobs currently holding capacity;
+- **event-loop lag** — how late the asyncio loop runs a timer that
+  asked to fire at a known instant.  Lag is the one signal that sees
+  *every* source of overload (CPU-bound decision storms, pathological
+  request bodies, a noisy neighbour in the same process), which is why
+  a pure queue/inflight gate is not enough.
+
+Classification is hysteretic: OVERLOADED trips at 100% of a threshold,
+but the state only returns to HEALTHY once every signal has fallen
+below the recover fraction — so a server hovering at the edge does not
+flap between shedding and admitting on every request.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.util.validation import check_positive
+
+
+class HealthState(enum.Enum):
+    """Hysteretic health classification, healthiest first."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    OVERLOADED = "overloaded"
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Trip points for the three signals, plus hysteresis fractions."""
+
+    max_queue_depth: int = 64
+    max_inflight: int = 256
+    max_loop_lag: float = 0.25  # seconds
+    degraded_fraction: float = 0.75
+    recover_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("max_queue_depth", self.max_queue_depth)
+        check_positive("max_inflight", self.max_inflight)
+        check_positive("max_loop_lag", self.max_loop_lag)
+        if not 0.0 < self.recover_fraction <= self.degraded_fraction <= 1.0:
+            raise ValueError(
+                "need 0 < recover_fraction <= degraded_fraction <= 1, got "
+                f"{self.recover_fraction} / {self.degraded_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """One classified reading of the three signals."""
+
+    state: HealthState
+    queue_depth: int
+    inflight: int
+    loop_lag: float
+    pressure: float  # max signal/threshold ratio, 1.0 == at the limit
+
+    def to_dict(self) -> dict:
+        return {
+            "state": self.state.value,
+            "queue_depth": self.queue_depth,
+            "inflight": self.inflight,
+            "loop_lag": round(self.loop_lag, 6),
+            "pressure": round(self.pressure, 4),
+        }
+
+
+class HealthMonitor:
+    """Classifies signal readings with hysteresis (see module docstring)."""
+
+    def __init__(
+        self, thresholds: Optional[HealthThresholds] = None
+    ) -> None:
+        self.thresholds = thresholds or HealthThresholds()
+        self._state = HealthState.HEALTHY
+        self.last: Optional[HealthSnapshot] = None
+
+    @property
+    def state(self) -> HealthState:
+        return self._state
+
+    def classify(
+        self, *, queue_depth: int, inflight: int, loop_lag: float
+    ) -> HealthSnapshot:
+        """Fold a reading into the hysteretic state; returns the snapshot."""
+        t = self.thresholds
+        pressure = max(
+            queue_depth / t.max_queue_depth,
+            inflight / t.max_inflight,
+            loop_lag / t.max_loop_lag,
+        )
+        if pressure >= 1.0:
+            self._state = HealthState.OVERLOADED
+        elif pressure >= t.degraded_fraction:
+            # Entering or staying in the warning band.
+            if self._state is not HealthState.OVERLOADED:
+                self._state = HealthState.DEGRADED
+        elif pressure < t.recover_fraction:
+            self._state = HealthState.HEALTHY
+        else:
+            # Between recover and degraded: hold the previous state,
+            # except OVERLOADED relaxes to DEGRADED (the 100% condition
+            # itself has cleared).
+            if self._state is HealthState.OVERLOADED:
+                self._state = HealthState.DEGRADED
+        snapshot = HealthSnapshot(
+            state=self._state,
+            queue_depth=queue_depth,
+            inflight=inflight,
+            loop_lag=loop_lag,
+            pressure=pressure,
+        )
+        self.last = snapshot
+        return snapshot
+
+
+class LoopLagProbe:
+    """Measures asyncio event-loop scheduling lag as an EWMA.
+
+    A background task sleeps ``interval`` seconds in a loop and
+    compares when it actually woke to when it asked to; the overshoot
+    *is* the scheduling lag every other coroutine on this loop
+    experiences.  An exponentially-weighted average (``alpha``) smooths
+    single-tick noise while still reacting within a few ticks.
+    """
+
+    def __init__(
+        self, *, interval: float = 0.05, alpha: float = 0.3
+    ) -> None:
+        check_positive("interval", interval)
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.interval = interval
+        self.alpha = alpha
+        self._lag = 0.0
+        self._task: Optional[asyncio.Task] = None
+
+    @property
+    def lag(self) -> float:
+        """Current EWMA of loop scheduling lag, seconds."""
+        return self._lag
+
+    def observe(self, lag_sample: float) -> None:
+        """Fold one lag sample in (exposed for tests)."""
+        self._lag += self.alpha * (max(0.0, lag_sample) - self._lag)
+
+    async def _run(self) -> None:
+        while True:
+            before = time.monotonic()
+            await asyncio.sleep(self.interval)
+            self.observe(time.monotonic() - before - self.interval)
+
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None

@@ -1,0 +1,372 @@
+"""A deterministic bursty multi-tenant load generator for the server.
+
+Two halves, split so each is independently testable:
+
+- :func:`build_schedule` — **pure and seeded**.  Produces the exact
+  same list of :class:`ScheduledRequest` for a given
+  :class:`LoadConfig`, with
+
+  * Zipf-distributed tenant popularity (a few tenants dominate, a long
+    tail trickles — the classic multi-tenant shape),
+  * heavy-tailed job sizes (bounded Pareto wall clocks, so most jobs
+    are small but the occasional elephant shows up),
+  * bursty arrivals: an on/off process where "on" phases pack
+    exponential inter-arrivals at ``burst_factor`` times the mean rate
+    and "off" phases go quiet — mean rate is preserved, variance is
+    not, which is precisely what stresses an admission queue.
+
+- :class:`LoadGenerator` — the asyncio HTTP client that replays a
+  schedule against a live server over keep-alive connections, tallies
+  every response by outcome, and cross-checks its client-side ledger
+  against the server's ``/stats`` accounting (the conservation law must
+  hold from both sides of the wire).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.protocol import Decision, render_mode
+from repro.core.modes import ExecutionMode
+from repro.util.rng import DeterministicRng
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Everything that shapes a generated schedule (all seeded)."""
+
+    seed: int = 0
+    requests: int = 500
+    tenants: int = 8
+    zipf_alpha: float = 1.1
+    mean_rate: float = 100.0  # offered requests/second overall
+    burst_factor: float = 4.0  # on-phase rate multiplier (1 = smooth)
+    burst_on_fraction: float = 0.25  # fraction of time spent "on"
+    pareto_shape: float = 1.5  # heavy-tail exponent for wall clocks
+    min_wall_clock: float = 0.05
+    max_wall_clock: float = 5.0
+    strict_fraction: float = 0.4
+    elastic_fraction: float = 0.3  # remainder is opportunistic
+    elastic_slack: float = 0.5
+    deadline_stretch: float = 3.0  # deadline_in = stretch * wall clock
+    cores_max: int = 2
+    cache_ways_max: int = 4
+    timeout: float = 5.0  # per-request decision deadline
+
+    def __post_init__(self) -> None:
+        check_positive("requests", self.requests)
+        check_positive("tenants", self.tenants)
+        check_positive("mean_rate", self.mean_rate)
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor}"
+            )
+        if not 0.0 < self.burst_on_fraction <= 1.0:
+            raise ValueError(
+                "burst_on_fraction must be in (0, 1], got "
+                f"{self.burst_on_fraction}"
+            )
+        if not 0.0 < self.min_wall_clock <= self.max_wall_clock:
+            raise ValueError("need 0 < min_wall_clock <= max_wall_clock")
+        if self.strict_fraction + self.elastic_fraction > 1.0:
+            raise ValueError("mode fractions must sum to <= 1")
+        if self.deadline_stretch < 1.0:
+            raise ValueError(
+                f"deadline_stretch must be >= 1, got {self.deadline_stretch}"
+            )
+
+
+@dataclass(frozen=True)
+class ScheduledRequest:
+    """One request the generator will offer: when, who, and what."""
+
+    at: float  # seconds from load start
+    tenant: str
+    payload: Dict  # the JSON body for POST /v1/admit
+
+    def key(self) -> Tuple[float, str]:
+        return (self.at, self.tenant)
+
+
+def build_schedule(config: LoadConfig) -> List[ScheduledRequest]:
+    """Generate the full request schedule, deterministically.
+
+    Same config (same seed) → byte-identical schedule, which is what
+    lets the CI smoke test assert exact conservation counts.
+    """
+    root = DeterministicRng(config.seed, "loadgen")
+    arrivals_rng = root.stream("arrivals")
+    tenant_rng = root.stream("tenants")
+    size_rng = root.stream("sizes")
+    mode_rng = root.stream("modes")
+    shape_rng = root.stream("shapes")
+
+    # Bursty arrivals: during an "on" window inter-arrivals are
+    # exponential at burst_factor * mean_rate; "off" windows insert a
+    # silent gap sized so the long-run mean rate stays mean_rate.
+    on_rate = config.mean_rate * config.burst_factor
+    # Average on-window holds this many requests before an off-gap.
+    burst_len_mean = max(
+        1.0, config.burst_on_fraction * config.requests / 10.0
+    )
+    off_gap_mean = 0.0
+    if config.burst_factor > 1.0:
+        # Time saved per request by bursting, paid back as off-gaps.
+        off_gap_mean = burst_len_mean * (
+            1.0 / config.mean_rate - 1.0 / on_rate
+        )
+
+    schedule: List[ScheduledRequest] = []
+    clock = 0.0
+    until_break = max(1, round(arrivals_rng.exponential(burst_len_mean)))
+    for _ in range(config.requests):
+        clock += arrivals_rng.exponential(1.0 / on_rate)
+        until_break -= 1
+        if until_break <= 0 and off_gap_mean > 0.0:
+            clock += arrivals_rng.exponential(off_gap_mean)
+            until_break = max(
+                1, round(arrivals_rng.exponential(burst_len_mean))
+            )
+
+        tenant_index = tenant_rng.zipf_index(
+            config.tenants, config.zipf_alpha
+        )
+        tenant = f"tenant-{tenant_index:02d}"
+
+        # Bounded Pareto via inverse transform on the truncated CDF.
+        u = size_rng.uniform(0.0, 1.0)
+        low, high, a = (
+            config.min_wall_clock, config.max_wall_clock,
+            config.pareto_shape,
+        )
+        ratio = (low / high) ** a
+        wall = low / ((1.0 - u * (1.0 - ratio)) ** (1.0 / a))
+        wall = min(max(wall, low), high)
+
+        pick = mode_rng.uniform(0.0, 1.0)
+        if pick < config.strict_fraction:
+            mode = ExecutionMode.strict()
+        elif pick < config.strict_fraction + config.elastic_fraction:
+            mode = ExecutionMode.elastic(config.elastic_slack)
+        else:
+            mode = ExecutionMode.opportunistic()
+
+        payload = {
+            "tenant": tenant,
+            "mode": render_mode(mode),
+            "cores": shape_rng.randint(1, config.cores_max),
+            "cache_ways": shape_rng.randint(0, config.cache_ways_max),
+            "max_wall_clock": round(wall, 6),
+            "deadline_in": round(wall * config.deadline_stretch, 6),
+            "timeout": config.timeout,
+        }
+        schedule.append(
+            ScheduledRequest(at=clock, tenant=tenant, payload=payload)
+        )
+    return schedule
+
+
+@dataclass
+class LoadReport:
+    """Client-side ledger of one load run, plus the server's view."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    shed: int = 0
+    transport_errors: int = 0
+    by_outcome: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    server_stats: Optional[Dict] = None
+
+    def record(self, decision: Decision) -> None:
+        self.offered += 1
+        bucket = decision.outcome.category.value
+        if bucket == "admitted":
+            self.admitted += 1
+        elif bucket == "rejected":
+            self.rejected += 1
+        else:
+            self.shed += 1
+        key = decision.outcome.wire
+        self.by_outcome[key] = self.by_outcome.get(key, 0) + 1
+        if decision.decision_latency is not None:
+            self.latencies.append(decision.decision_latency)
+
+    @property
+    def conserves(self) -> bool:
+        """Client-side half of the conservation law."""
+        return (
+            self.admitted + self.rejected + self.shed + self.transport_errors
+            == self.offered
+        )
+
+    def percentile_latency(self, q: float) -> Optional[float]:
+        if not self.latencies:
+            return None
+        ordered = sorted(self.latencies)
+        index = min(
+            len(ordered) - 1, max(0, round(q * (len(ordered) - 1)))
+        )
+        return ordered[index]
+
+    def to_dict(self) -> Dict:
+        p99 = self.percentile_latency(0.99)
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "transport_errors": self.transport_errors,
+            "conserves": self.conserves,
+            "by_outcome": dict(sorted(self.by_outcome.items())),
+            "p50_decision_latency": self.percentile_latency(0.5),
+            "p99_decision_latency": p99,
+            "server": self.server_stats,
+        }
+
+
+class LoadGenerator:
+    """Replays a schedule against a live server and tallies outcomes."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connections: int = 8,
+        time_scale: float = 1.0,
+    ) -> None:
+        check_positive("connections", connections)
+        check_positive("time_scale", time_scale)
+        self.host = host
+        self.port = port
+        self.connections = connections
+        self.time_scale = time_scale
+
+    async def run(self, schedule: List[ScheduledRequest]) -> LoadReport:
+        """Offer every scheduled request; never raises on server answers."""
+        report = LoadReport()
+        queue: "asyncio.Queue[Optional[ScheduledRequest]]" = asyncio.Queue()
+        loop = asyncio.get_running_loop()
+        start = loop.time()
+
+        async def feeder() -> None:
+            for item in schedule:
+                delay = start + item.at * self.time_scale - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                queue.put_nowait(item)
+            for _ in range(self.connections):
+                queue.put_nowait(None)
+
+        async def worker() -> None:
+            reader = writer = None
+            try:
+                while True:
+                    item = await queue.get()
+                    if item is None:
+                        break
+                    if writer is None:
+                        try:
+                            reader, writer = await asyncio.open_connection(
+                                self.host, self.port
+                            )
+                        except OSError:
+                            report.offered += 1
+                            report.transport_errors += 1
+                            continue
+                    try:
+                        status, payload = await _post_json(
+                            reader, writer, "/v1/admit", item.payload
+                        )
+                        report.record(Decision.from_dict(payload))
+                    except (OSError, asyncio.IncompleteReadError, ValueError):
+                        report.offered += 1
+                        report.transport_errors += 1
+                        # Connection is suspect: drop it, reconnect lazily.
+                        writer.close()
+                        reader = writer = None
+            finally:
+                if writer is not None:
+                    writer.close()
+
+        await asyncio.gather(
+            feeder(), *(worker() for _ in range(self.connections))
+        )
+        report.server_stats = await self.fetch_stats()
+        return report
+
+    async def fetch_stats(self) -> Optional[Dict]:
+        try:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError:
+            return None
+        try:
+            _status, payload = await _get_json(reader, writer, "/stats")
+            return payload
+        except (OSError, asyncio.IncompleteReadError, ValueError):
+            return None
+        finally:
+            writer.close()
+
+
+# -- a minimal keep-alive HTTP/1.1 client ------------------------------------
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict]:
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ", 2)[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    payload = json.loads(body.decode("utf-8")) if body else {}
+    return status, payload
+
+
+async def _post_json(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    path: str,
+    payload: Dict,
+) -> Tuple[int, Dict]:
+    body = json.dumps(payload).encode("utf-8")
+    writer.write(
+        (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: loadgen\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+        + body
+    )
+    await writer.drain()
+    return await _read_response(reader)
+
+
+async def _get_json(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    path: str,
+) -> Tuple[int, Dict]:
+    writer.write(
+        (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: loadgen\r\nConnection: keep-alive\r\n\r\n"
+        ).encode("latin-1")
+    )
+    await writer.drain()
+    return await _read_response(reader)

@@ -1,0 +1,308 @@
+"""Wire protocol for the admission/allocation service (JSON over HTTP).
+
+One request kind does the work: an **admit request** asks the node for
+a QoS allocation (the paper's Section 5 admission test, as a service
+call), and the server answers with a typed :class:`Decision`.  Every
+possible fate of a request is an explicit :class:`DecisionOutcome` in
+one of three categories:
+
+- ``admitted`` — a reservation (or Opportunistic acceptance) exists;
+  the response carries the granted mode and timeslot.
+- ``rejected`` — the admission test itself said no (infeasible or no
+  capacity before the deadline).  Deterministic: retrying immediately
+  cannot help unless load drains, so a backoff hint rides along.
+- ``shed`` — the *server* refused to even run the test (queue full,
+  overload, breaker open, past the request's own deadline, draining).
+  Load shedding is an availability mechanism, not an admission verdict,
+  which is why it is never conflated with ``rejected``.
+
+The accounting law the whole service is tested against:
+``admitted + rejected + shed == offered`` — every offered request gets
+exactly one outcome, even under overload and during drain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.core.spec import ResourceVector
+
+
+class ProtocolError(ValueError):
+    """A malformed or invalid request body (HTTP 400)."""
+
+
+class Category(enum.Enum):
+    """The three accounting buckets every decision falls into."""
+
+    ADMITTED = "admitted"
+    REJECTED = "rejected"
+    SHED = "shed"
+
+
+class DecisionOutcome(enum.Enum):
+    """Typed outcome of one admit request (value, category, retryable)."""
+
+    ADMIT = ("admit", Category.ADMITTED, False)
+    ADMIT_DOWNGRADED = ("admit-downgraded", Category.ADMITTED, False)
+    REJECT_CAPACITY = ("reject-capacity", Category.REJECTED, True)
+    REJECT_INFEASIBLE = ("reject-infeasible", Category.REJECTED, False)
+    REJECT_INVALID = ("reject-invalid", Category.REJECTED, False)
+    SHED_QUEUE_FULL = ("shed-queue-full", Category.SHED, True)
+    SHED_OVERLOAD = ("shed-overload", Category.SHED, True)
+    SHED_BREAKER = ("shed-breaker", Category.SHED, True)
+    SHED_DEADLINE = ("shed-deadline", Category.SHED, True)
+    SHED_DRAINING = ("shed-draining", Category.SHED, False)
+
+    def __init__(
+        self, wire: str, category: Category, retryable: bool
+    ) -> None:
+        self.wire = wire
+        self.category = category
+        self.retryable = retryable
+
+    @property
+    def http_status(self) -> int:
+        """Conventional status: 200 admit, 409 reject, 429/503 shed."""
+        if self.category is Category.ADMITTED:
+            return 200
+        if self is DecisionOutcome.REJECT_INVALID:
+            return 400
+        if self.category is Category.REJECTED:
+            return 409
+        if self is DecisionOutcome.SHED_DRAINING:
+            return 503
+        return 429
+
+    @staticmethod
+    def from_wire(wire: str) -> "DecisionOutcome":
+        for outcome in DecisionOutcome:
+            if outcome.wire == wire:
+                return outcome
+        raise ProtocolError(f"unknown outcome {wire!r}")
+
+
+# -- execution modes on the wire ---------------------------------------------
+
+
+def render_mode(mode: ExecutionMode) -> str:
+    """``strict`` / ``elastic:0.25`` / ``opportunistic``."""
+    if mode.kind is ModeKind.ELASTIC:
+        return f"elastic:{mode.slack:.6g}"
+    return mode.kind.value
+
+
+def parse_mode(text: str) -> ExecutionMode:
+    """Inverse of :func:`render_mode`; raises :class:`ProtocolError`."""
+    name, _, slack_text = text.partition(":")
+    try:
+        if name == "strict":
+            return ExecutionMode.strict()
+        if name == "opportunistic":
+            return ExecutionMode.opportunistic()
+        if name == "elastic":
+            if not slack_text:
+                raise ProtocolError(
+                    "elastic mode needs a slack, e.g. 'elastic:0.25'"
+                )
+            return ExecutionMode.elastic(float(slack_text))
+    except ProtocolError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"bad mode {text!r}: {error}") from None
+    raise ProtocolError(f"unknown mode {text!r}")
+
+
+# -- requests ----------------------------------------------------------------
+
+
+def _require_number(
+    payload: Dict, key: str, *, default=None, minimum=None
+) -> Optional[float]:
+    value = payload.get(key, default)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{key} must be a number, got {value!r}")
+    if value != value or value in (float("inf"), float("-inf")):
+        raise ProtocolError(f"{key} must be finite, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ProtocolError(f"{key} must be >= {minimum}, got {value}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class AdmitRequest:
+    """One job asking for admission with a convertible RUM target."""
+
+    tenant: str
+    mode: ExecutionMode
+    cores: int = 1
+    cache_ways: int = 0
+    bandwidth_share: float = 0.0
+    max_wall_clock: float = 1.0
+    deadline_in: Optional[float] = None  # relative to arrival, seconds
+    allow_downgrade: bool = True
+    timeout: Optional[float] = None  # decision deadline, seconds
+    job: str = ""  # optional human label
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ProtocolError("tenant must be non-empty")
+        if self.max_wall_clock <= 0.0:
+            raise ProtocolError(
+                f"max_wall_clock must be positive, got {self.max_wall_clock}"
+            )
+        if self.cores == 0 and self.cache_ways == 0 and (
+            self.bandwidth_share == 0.0
+        ):
+            raise ProtocolError("a request must ask for some resources")
+        if self.deadline_in is not None and (
+            self.deadline_in < self.max_wall_clock
+        ):
+            raise ProtocolError(
+                f"deadline_in {self.deadline_in} is before the job's own "
+                f"max_wall_clock {self.max_wall_clock} — unsatisfiable"
+            )
+
+    @property
+    def resources(self) -> ResourceVector:
+        return ResourceVector(
+            cores=self.cores,
+            cache_ways=self.cache_ways,
+            bandwidth_share=self.bandwidth_share,
+        )
+
+    @staticmethod
+    def from_dict(payload: object) -> "AdmitRequest":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request body must be a JSON object")
+        tenant = payload.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            raise ProtocolError("tenant must be a non-empty string")
+        mode_text = payload.get("mode", "strict")
+        if not isinstance(mode_text, str):
+            raise ProtocolError(f"mode must be a string, got {mode_text!r}")
+        cores = _require_number(payload, "cores", default=1, minimum=0)
+        ways = _require_number(payload, "cache_ways", default=0, minimum=0)
+        if cores != int(cores) or ways != int(ways):
+            raise ProtocolError("cores and cache_ways must be integers")
+        allow_downgrade = payload.get("allow_downgrade", True)
+        if not isinstance(allow_downgrade, bool):
+            raise ProtocolError("allow_downgrade must be a boolean")
+        job = payload.get("job", "")
+        if not isinstance(job, str):
+            raise ProtocolError("job must be a string")
+        try:
+            return AdmitRequest(
+                tenant=tenant,
+                mode=parse_mode(mode_text),
+                cores=int(cores),
+                cache_ways=int(ways),
+                bandwidth_share=_require_number(
+                    payload, "bandwidth_share", default=0.0, minimum=0.0
+                ),
+                max_wall_clock=_require_number(
+                    payload, "max_wall_clock", default=1.0
+                ),
+                deadline_in=_require_number(
+                    payload, "deadline_in", minimum=0.0
+                ),
+                allow_downgrade=allow_downgrade,
+                timeout=_require_number(payload, "timeout", minimum=0.0),
+                job=job,
+            )
+        except ProtocolError:
+            raise
+        except ValueError as error:
+            # Validation raised by ResourceVector / ExecutionMode /
+            # TimeslotRequest constructors downstream.
+            raise ProtocolError(str(error)) from None
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {
+            "tenant": self.tenant,
+            "mode": render_mode(self.mode),
+            "cores": self.cores,
+            "cache_ways": self.cache_ways,
+            "bandwidth_share": self.bandwidth_share,
+            "max_wall_clock": self.max_wall_clock,
+            "allow_downgrade": self.allow_downgrade,
+        }
+        if self.deadline_in is not None:
+            payload["deadline_in"] = self.deadline_in
+        if self.timeout is not None:
+            payload["timeout"] = self.timeout
+        if self.job:
+            payload["job"] = self.job
+        return payload
+
+
+# -- decisions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The server's answer to one admit request."""
+
+    outcome: DecisionOutcome
+    reason: str
+    job_id: Optional[int] = None
+    granted_mode: Optional[ExecutionMode] = None
+    reserved_start: Optional[float] = None
+    reserved_end: Optional[float] = None
+    retry_after: Optional[float] = None
+    decision_latency: Optional[float] = None  # seconds, queue + test
+    extra: Dict = field(default_factory=dict)
+
+    @property
+    def admitted(self) -> bool:
+        return self.outcome.category is Category.ADMITTED
+
+    @property
+    def category(self) -> Category:
+        return self.outcome.category
+
+    def to_dict(self) -> Dict:
+        payload: Dict = {
+            "outcome": self.outcome.wire,
+            "category": self.outcome.category.value,
+            "reason": self.reason,
+        }
+        if self.job_id is not None:
+            payload["job_id"] = self.job_id
+        if self.granted_mode is not None:
+            payload["granted_mode"] = render_mode(self.granted_mode)
+        if self.reserved_start is not None:
+            payload["reserved_start"] = self.reserved_start
+        if self.reserved_end is not None:
+            payload["reserved_end"] = self.reserved_end
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        if self.decision_latency is not None:
+            payload["decision_latency"] = self.decision_latency
+        payload.update(self.extra)
+        return payload
+
+    @staticmethod
+    def from_dict(payload: object) -> "Decision":
+        if not isinstance(payload, dict):
+            raise ProtocolError("decision body must be a JSON object")
+        try:
+            outcome = DecisionOutcome.from_wire(payload["outcome"])
+        except KeyError:
+            raise ProtocolError("decision is missing 'outcome'") from None
+        granted = payload.get("granted_mode")
+        return Decision(
+            outcome=outcome,
+            reason=str(payload.get("reason", "")),
+            job_id=payload.get("job_id"),
+            granted_mode=parse_mode(granted) if granted else None,
+            reserved_start=payload.get("reserved_start"),
+            reserved_end=payload.get("reserved_end"),
+            retry_after=payload.get("retry_after"),
+            decision_latency=payload.get("decision_latency"),
+        )

@@ -1,0 +1,209 @@
+"""Load shedding policy: retry hints and a mode-ladder circuit breaker.
+
+Two robustness pieces sit between the health monitor and the admission
+controller:
+
+- :class:`RetryAdvisor` — computes the ``retry_after`` hint attached to
+  every retryable reject/shed.  It reuses the exponential-backoff
+  machinery graceful degradation already trusts
+  (:class:`repro.faults.resilience.RetryPolicy`) and adds deterministic
+  seeded jitter so a synchronized burst of rejected clients does not
+  come back as a synchronized burst of retries (the thundering herd).
+
+- :class:`CircuitBreaker` — degrades the *service* down the same
+  Strict → Elastic → Opportunistic ladder the paper applies to jobs
+  (Sections 3.3–3.4, reused via :mod:`repro.faults.resilience`).  Under
+  sustained overload the breaker lowers the strongest mode it will
+  grant: first Strict requests are downgraded to Elastic, then every
+  reserving request runs Opportunistically, and at the ladder's bottom
+  (``BEST_EFFORT``, the open state) new work is shed outright.
+  Sustained health steps it back up one rung at a time — re-admission
+  on recovery, never a cliff edge in either direction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.faults.resilience import (
+    LADDER,
+    DegradationStage,
+    RetryPolicy,
+)
+from repro.obs import get_observer
+from repro.serve.health import HealthState
+from repro.util.rng import DeterministicRng
+from repro.util.validation import check_positive
+
+
+class RetryAdvisor:
+    """Backoff-with-jitter hints keyed by client (tenant).
+
+    Each consecutive failure for a key walks one step up the
+    exponential schedule ``policy.delay(attempt)``; a success resets
+    the key.  Jitter multiplies the delay by ``1 + U[0, jitter)`` drawn
+    from a seeded stream, so hints are reproducible for a given server
+    seed yet decorrelated across requests.  The key table is bounded —
+    under millions of distinct tenants it evicts wholesale rather than
+    growing without limit (the hint is advisory; forgetting a tenant's
+    streak costs one optimistic retry, not correctness).
+    """
+
+    def __init__(
+        self,
+        policy: Optional[RetryPolicy] = None,
+        *,
+        seed: int = 0,
+        jitter: float = 0.5,
+        max_attempt: int = 8,
+        max_keys: int = 4096,
+    ) -> None:
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        check_positive("max_keys", max_keys)
+        self.policy = policy or RetryPolicy(
+            max_retries=max_attempt, backoff_base=0.05, backoff_factor=2.0
+        )
+        self.jitter = jitter
+        self.max_attempt = max_attempt
+        self.max_keys = max_keys
+        self._rng = DeterministicRng(seed, "retry-jitter")
+        self._attempts: Dict[str, int] = {}
+
+    def advise(self, key: str) -> float:
+        """Record a failure for ``key``; return the retry-after hint."""
+        if len(self._attempts) >= self.max_keys and key not in self._attempts:
+            self._attempts.clear()
+        attempt = min(self._attempts.get(key, 0), self.max_attempt)
+        self._attempts[key] = attempt + 1
+        delay = self.policy.delay(attempt)
+        return delay * (1.0 + self._rng.uniform(0.0, self.jitter))
+
+    def reset(self, key: str) -> None:
+        """Record a success for ``key`` (clears its backoff streak)."""
+        self._attempts.pop(key, None)
+
+
+class CircuitBreaker:
+    """Hysteretic service-level degradation down the mode ladder.
+
+    Fed one :class:`HealthState` observation per housekeeping tick.
+    ``trip_after`` consecutive OVERLOADED ticks step the ceiling one
+    rung down; ``recover_after`` consecutive HEALTHY ticks step it one
+    rung up; DEGRADED ticks reset both streaks (hold position).  The
+    current rung is a :class:`DegradationStage`:
+
+    ========================  ==========================================
+    stage (ceiling)           effect on new requests
+    ========================  ==========================================
+    STRICT                    none — every mode granted as asked
+    ELASTIC                   Strict requests downgraded to Elastic
+    OPPORTUNISTIC             all reserving requests run Opportunistic
+    BEST_EFFORT (open)        new work is shed outright
+    ========================  ==========================================
+    """
+
+    def __init__(
+        self,
+        *,
+        trip_after: int = 5,
+        recover_after: int = 20,
+        elastic_slack: float = 0.5,
+    ) -> None:
+        check_positive("trip_after", trip_after)
+        check_positive("recover_after", recover_after)
+        check_positive("elastic_slack", elastic_slack)
+        self.trip_after = trip_after
+        self.recover_after = recover_after
+        self.elastic_slack = elastic_slack
+        self._rung = 0  # index into LADDER; 0 == STRICT == fully closed
+        self._overload_streak = 0
+        self._healthy_streak = 0
+        self.transitions = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def ceiling(self) -> DegradationStage:
+        """The strongest guarantee currently granted."""
+        return LADDER[self._rung]
+
+    @property
+    def is_open(self) -> bool:
+        """Open == shedding all new work (ladder bottom)."""
+        return self.ceiling is DegradationStage.BEST_EFFORT
+
+    # -- observation feed -------------------------------------------------
+
+    def record(self, state: HealthState) -> bool:
+        """Fold one health observation in; True if the rung changed."""
+        if state is HealthState.OVERLOADED:
+            self._overload_streak += 1
+            self._healthy_streak = 0
+            if (
+                self._overload_streak >= self.trip_after
+                and self._rung < len(LADDER) - 1
+            ):
+                self._step(+1)
+                return True
+        elif state is HealthState.HEALTHY:
+            self._healthy_streak += 1
+            self._overload_streak = 0
+            if self._healthy_streak >= self.recover_after and self._rung > 0:
+                self._step(-1)
+                return True
+        else:  # DEGRADED: hold position, restart both streaks
+            self._overload_streak = 0
+            self._healthy_streak = 0
+        return False
+
+    def _step(self, direction: int) -> None:
+        self._rung += direction
+        self._overload_streak = 0
+        self._healthy_streak = 0
+        self.transitions += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.metrics.counter(
+                "serve.breaker.transitions",
+                direction="down" if direction > 0 else "up",
+            ).inc()
+            obs.metrics.gauge("serve.breaker.rung").set(self._rung)
+
+    # -- request clamping -------------------------------------------------
+
+    def clamp(
+        self, mode: ExecutionMode
+    ) -> Optional[Tuple[ExecutionMode, bool]]:
+        """Apply the ceiling to a requested mode.
+
+        Returns ``(granted_mode, downgraded)`` or ``None`` when the
+        breaker is open and the request must be shed.  Modes at or
+        below the ceiling pass through untouched — the breaker only
+        ever weakens guarantees, mirroring the downgrade-floor law of
+        :mod:`repro.core.modes`.
+        """
+        ceiling = self.ceiling
+        if ceiling is DegradationStage.BEST_EFFORT:
+            return None
+        if ceiling is DegradationStage.STRICT:
+            return mode, False
+        if ceiling is DegradationStage.ELASTIC:
+            if mode.kind is ModeKind.STRICT:
+                return ExecutionMode.elastic(self.elastic_slack), True
+            return mode, False
+        # OPPORTUNISTIC ceiling: every reserving mode loses its
+        # reservation but still runs.
+        if mode.kind is not ModeKind.OPPORTUNISTIC:
+            return ExecutionMode.opportunistic(), True
+        return mode, False
+
+    def to_dict(self) -> dict:
+        return {
+            "ceiling": self.ceiling.value,
+            "open": self.is_open,
+            "overload_streak": self._overload_streak,
+            "healthy_streak": self._healthy_streak,
+            "transitions": self.transitions,
+        }

@@ -74,14 +74,18 @@ class VerifyCase:
 
 
 def save_case(case: VerifyCase, path) -> Path:
-    """Write ``case`` as deterministic, human-diffable JSON."""
-    path = Path(path)
-    if path.parent != Path("."):
-        path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(case.to_dict(), indent=2, sort_keys=True) + "\n"
+    """Write ``case`` as deterministic, human-diffable JSON.
+
+    Atomic (:mod:`repro.util.atomicio`): a shrunk failing case is the
+    one artefact of a long fuzz run, so an interrupt while writing it
+    must not leave unparsable JSON for ``repro verify replay``.
+    """
+    from repro.util.atomicio import write_atomic_text
+
+    return write_atomic_text(
+        Path(path),
+        json.dumps(case.to_dict(), indent=2, sort_keys=True) + "\n",
     )
-    return path
 
 
 def load_case(path) -> VerifyCase:

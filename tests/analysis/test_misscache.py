@@ -77,7 +77,12 @@ class TestRoundTrip:
             loaded.l2_accesses_per_instruction
             == curve.l2_accesses_per_instruction
         )
-        assert misscache.stats() == {"hits": 1, "misses": 0, "stores": 1}
+        assert misscache.stats() == {
+            "hits": 1,
+            "misses": 0,
+            "stores": 1,
+            "quarantined": 0,
+        }
 
     def test_load_missing_counts_a_miss(self):
         assert misscache.load_curve(
@@ -85,7 +90,7 @@ class TestRoundTrip:
         ) is None
         assert misscache.stats()["misses"] == 1
 
-    def test_corrupt_entry_is_a_miss_and_removed(self, isolated_store):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, isolated_store):
         profile = get_benchmark("bzip2")
         curve = profile_benchmark(
             profile, ways_list=range(1, 3), warmup=0, **PROFILE_KWARGS
@@ -94,6 +99,62 @@ class TestRoundTrip:
         path.write_text("{ not json")
         assert misscache.load_curve(profile, **PROFILE_KWARGS) is None
         assert not path.exists()
+        quarantined = path.with_suffix(misscache.QUARANTINE_SUFFIX)
+        assert quarantined.read_text() == "{ not json"
+        assert misscache.stats()["quarantined"] == 1
+        assert misscache.quarantine_count() == 1
+
+    def test_torn_write_is_quarantined_then_healed(self, isolated_store):
+        """A truncated entry never raises: quarantine, re-store, hit."""
+        profile = get_benchmark("bzip2")
+        curve = profile_benchmark(
+            profile, ways_list=range(1, 3), warmup=0, **PROFILE_KWARGS
+        )
+        path = misscache.store_curve(curve, profile, **PROFILE_KWARGS)
+        intact = path.read_text()
+        # Simulate a torn write: the file exists but holds a prefix of
+        # the payload (what a crash mid-write without atomicity leaves).
+        path.write_text(intact[: len(intact) // 2])
+        assert misscache.load_curve(profile, **PROFILE_KWARGS) is None
+        assert misscache.quarantine_count() == 1
+        # Re-store over the quarantined name and read it back.
+        assert misscache.store_curve(curve, profile, **PROFILE_KWARGS)
+        healed = misscache.load_curve(profile, **PROFILE_KWARGS)
+        assert healed is not None
+        assert healed.points == curve.points
+        # The quarantined evidence is still on disk, clear() removes it.
+        assert misscache.quarantine_count() == 1
+        assert misscache.clear() == 2
+        assert misscache.quarantine_count() == 0
+
+    def test_wrong_schema_entry_is_quarantined(self, isolated_store):
+        """Valid JSON with the wrong shape is corruption too."""
+        profile = get_benchmark("bzip2")
+        curve = profile_benchmark(
+            profile, ways_list=range(1, 3), warmup=0, **PROFILE_KWARGS
+        )
+        path = misscache.store_curve(curve, profile, **PROFILE_KWARGS)
+        path.write_text(json.dumps({"curve": [1, 2, 3]}))
+        assert misscache.load_curve(profile, **PROFILE_KWARGS) is None
+        assert misscache.quarantine_count() == 1
+
+    def test_concurrent_style_writes_leave_no_temp_files(
+        self, isolated_store
+    ):
+        """Repeated store_curve calls (as parallel workers race) are clean."""
+        profile = get_benchmark("bzip2")
+        curve = profile_benchmark(
+            profile, ways_list=range(1, 3), warmup=0, **PROFILE_KWARGS
+        )
+        for _ in range(5):
+            assert misscache.store_curve(curve, profile, **PROFILE_KWARGS)
+        assert misscache.entry_count() == 1
+        leftovers = [
+            entry
+            for entry in isolated_store.iterdir()
+            if entry.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
 
     def test_disabled_store_never_touches_disk(self, isolated_store):
         misscache.set_enabled(False)
@@ -104,7 +165,12 @@ class TestRoundTrip:
         assert misscache.store_curve(curve, profile, **PROFILE_KWARGS) is None
         assert misscache.load_curve(profile, **PROFILE_KWARGS) is None
         assert misscache.entry_count() == 0
-        assert misscache.stats() == {"hits": 0, "misses": 0, "stores": 0}
+        assert misscache.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "quarantined": 0,
+        }
 
     def test_clear_removes_entries(self):
         profile = get_benchmark("bzip2")

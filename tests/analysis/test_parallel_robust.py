@@ -1,0 +1,122 @@
+"""parallel_map under hostile workers: kills, hangs, retries, fallback.
+
+The worker functions are module-level (pickling) and distinguish
+"running in the parent" from "running in a worker" by comparing
+``os.getpid()`` to the parent pid embedded in each item — a worker that
+always dies on a given point would otherwise kill the parent too when
+the serial fallback recomputes it.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.analysis.parallel import parallel_map
+from repro.obs import Observer, observed
+
+
+def _double(value):
+    return value * 2
+
+
+def _kill_worker_on_three(payload):
+    parent_pid, value = payload
+    if value == 3 and os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def _hang_worker_on_two(payload):
+    parent_pid, value = payload
+    if value == 2 and os.getpid() != parent_pid:
+        time.sleep(600.0)
+    return value * 10
+
+
+def _raise_on_four(value):
+    if value == 4:
+        raise ValueError("point 4 is broken")
+    return value
+
+
+def _observed_double(payload):
+    from repro.obs import get_observer
+
+    parent_pid, value = payload
+    obs = get_observer()
+    if obs.enabled:
+        obs.metrics.counter("test.robust.points").inc()
+    if value == 1 and os.getpid() != parent_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+class TestRobustPath:
+    def test_matches_serial_when_nothing_fails(self):
+        values = list(range(8))
+        assert parallel_map(
+            _double, values, jobs=2, task_timeout=30.0
+        ) == [value * 2 for value in values]
+
+    def test_killed_worker_point_recovers(self):
+        """A worker SIGKILLed mid-sweep loses its point; the sweep doesn't.
+
+        The kill is deterministic in the point, so every pool retry
+        dies too — the point must come back via the parent-side serial
+        fallback, in its original position.
+        """
+        items = [(os.getpid(), value) for value in range(6)]
+        results = parallel_map(
+            _kill_worker_on_three,
+            items,
+            jobs=2,
+            task_timeout=2.0,
+            task_retries=1,
+        )
+        assert results == [value * 2 for value in range(6)]
+
+    def test_hung_worker_point_recovers(self):
+        items = [(os.getpid(), value) for value in range(4)]
+        results = parallel_map(
+            _hang_worker_on_two,
+            items,
+            jobs=2,
+            task_timeout=2.0,
+            task_retries=0,
+        )
+        assert results == [value * 10 for value in range(4)]
+
+    def test_task_exceptions_still_propagate(self):
+        with pytest.raises(ValueError, match="point 4 is broken"):
+            parallel_map(
+                _raise_on_four, list(range(6)), jobs=2, task_timeout=30.0
+            )
+
+    def test_observer_telemetry_complete_despite_worker_death(self):
+        """Retried + fallback points still contribute telemetry once each.
+
+        Points 0 and 2..3 record in their workers; point 1 kills two
+        workers (its telemetry dies with them) and finally records in
+        the parent during the serial fallback — so the counter must
+        equal the number of points, not the number of attempts.
+        """
+        items = [(os.getpid(), value) for value in range(4)]
+        with observed(Observer()) as obs:
+            results = parallel_map(
+                _observed_double,
+                items,
+                jobs=2,
+                task_timeout=2.0,
+                task_retries=1,
+            )
+            counted = obs.metrics.value_of("test.robust.points")
+        assert results == [value * 2 for value in range(4)]
+        assert counted == 4
+
+    def test_timeout_none_keeps_fast_path(self):
+        values = list(range(5))
+        assert parallel_map(_double, values, jobs=2) == [
+            value * 2 for value in values
+        ]

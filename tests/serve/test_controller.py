@@ -1,0 +1,243 @@
+"""ServeController: the decision pipeline and its conservation law."""
+
+import pytest
+
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.core.spec import ResourceVector
+from repro.obs import Observer, observed
+from repro.serve.controller import ServeController
+from repro.serve.health import HealthState
+from repro.serve.protocol import AdmitRequest, DecisionOutcome
+from repro.serve.shedding import CircuitBreaker
+
+CAPACITY = ResourceVector(cores=4, cache_ways=16, bandwidth_share=1.0)
+
+
+def controller(**kwargs):
+    return ServeController(CAPACITY, **kwargs)
+
+
+def request(**overrides):
+    payload = dict(
+        tenant="acme",
+        mode=ExecutionMode.strict(),
+        cores=2,
+        cache_ways=8,
+        max_wall_clock=1.0,
+    )
+    payload.update(overrides)
+    return AdmitRequest(**payload)
+
+
+class TestDecide:
+    def test_simple_admit(self):
+        ctl = controller()
+        decision = ctl.decide(request(), now=0.0)
+        assert decision.outcome is DecisionOutcome.ADMIT
+        assert decision.job_id is not None
+        assert decision.granted_mode == ExecutionMode.strict()
+        assert decision.reserved_start == 0.0
+        assert ctl.inflight == 1
+
+    def test_infeasible_request_is_a_permanent_reject(self):
+        ctl = controller()
+        decision = ctl.decide(request(cores=5), now=0.0)
+        assert decision.outcome is DecisionOutcome.REJECT_INFEASIBLE
+        assert decision.retry_after is None
+        assert ctl.inflight == 0
+
+    def test_deadline_pressure_walks_the_ladder(self):
+        ctl = controller()
+        # Fill the node for [0, 10): full cores, strict.
+        first = ctl.decide(
+            request(cores=4, cache_ways=0, max_wall_clock=10.0),
+            now=0.0,
+        )
+        assert first.admitted
+        # A strict job that must finish by t=2 cannot reserve; with
+        # downgrade allowed it lands opportunistically (elastic cannot
+        # help when the deadline is this tight).
+        decision = ctl.decide(
+            request(
+                cores=4, cache_ways=0,
+                max_wall_clock=1.0, deadline_in=2.0,
+            ),
+            now=0.0,
+        )
+        assert decision.outcome is DecisionOutcome.ADMIT_DOWNGRADED
+        assert decision.granted_mode.kind is ModeKind.OPPORTUNISTIC
+        assert decision.reserved_start is None
+
+    def test_pinned_mode_rejects_instead_of_downgrading(self):
+        ctl = controller()
+        ctl.decide(
+            request(cores=4, cache_ways=0, max_wall_clock=10.0), now=0.0
+        )
+        decision = ctl.decide(
+            request(
+                cores=4, cache_ways=0,
+                max_wall_clock=1.0, deadline_in=2.0,
+                allow_downgrade=False,
+            ),
+            now=0.0,
+        )
+        assert decision.outcome is DecisionOutcome.REJECT_CAPACITY
+        assert decision.retry_after is not None
+        assert decision.extra["modes_tried"]
+
+    def test_opportunistic_requests_always_admit(self):
+        ctl = controller()
+        for _ in range(50):
+            decision = ctl.decide(
+                request(mode=ExecutionMode.opportunistic()), now=0.0
+            )
+            assert decision.admitted
+        assert ctl.accounting.admitted == 50
+
+    def test_retry_hint_grows_then_resets_on_success(self):
+        ctl = controller()
+        ctl.decide(
+            request(cores=4, cache_ways=0, max_wall_clock=10.0), now=0.0
+        )
+        blocked = request(
+            cores=4, cache_ways=0, max_wall_clock=1.0,
+            deadline_in=2.0, allow_downgrade=False,
+        )
+        first = ctl.decide(blocked, now=0.0).retry_after
+        second = ctl.decide(blocked, now=0.0).retry_after
+        assert second > first
+        # Capacity frees; the same tenant admits and its streak clears.
+        admitted = ctl.decide(request(), now=0.0)
+        assert admitted.admitted
+        third = ctl.decide(blocked, now=0.0).retry_after
+        assert third < second
+
+
+class TestBreakerIntegration:
+    def tripped(self, rungs):
+        breaker = CircuitBreaker(trip_after=1)
+        for _ in range(rungs):
+            for _ in range(1):
+                breaker.record(HealthState.OVERLOADED)
+        return breaker
+
+    def test_open_breaker_sheds_everything(self):
+        ctl = controller(breaker=self.tripped(3))
+        decision = ctl.decide(request(), now=0.0)
+        assert decision.outcome is DecisionOutcome.SHED_BREAKER
+        assert decision.retry_after is not None
+        assert ctl.accounting.shed == 1
+
+    def test_clamped_mode_counts_as_downgraded(self):
+        ctl = controller(breaker=self.tripped(1))  # ceiling: ELASTIC
+        decision = ctl.decide(request(), now=0.0)
+        assert decision.outcome is DecisionOutcome.ADMIT_DOWNGRADED
+        assert decision.granted_mode.kind is ModeKind.ELASTIC
+
+    def test_pinned_mode_under_clamp_is_shed_not_rejected(self):
+        ctl = controller(breaker=self.tripped(1))
+        decision = ctl.decide(
+            request(allow_downgrade=False), now=0.0
+        )
+        assert decision.outcome is DecisionOutcome.SHED_BREAKER
+
+    def test_non_clamped_mode_passes_under_lowered_ceiling(self):
+        ctl = controller(breaker=self.tripped(1))
+        decision = ctl.decide(
+            request(mode=ExecutionMode.elastic(0.2)), now=0.0
+        )
+        assert decision.outcome is DecisionOutcome.ADMIT
+
+
+class TestLifecycle:
+    def test_release_frees_capacity_early(self):
+        ctl = controller()
+        decision = ctl.decide(
+            request(cores=4, cache_ways=0, max_wall_clock=10.0), now=0.0
+        )
+        # The node is full: a second strict job queues behind it.
+        queued = ctl.decide(
+            request(cores=4, cache_ways=0, max_wall_clock=1.0), now=0.0
+        )
+        assert queued.reserved_start >= 10.0
+        assert ctl.release(decision.job_id, now=1.0)
+        after = ctl.decide(
+            request(cores=4, cache_ways=0, max_wall_clock=1.0), now=1.0
+        )
+        # Freed capacity: the new job starts before the old end time.
+        assert after.reserved_start < 10.0
+        assert ctl.accounting.released == 1
+
+    def test_release_unknown_job_is_false(self):
+        ctl = controller()
+        assert ctl.release(999, now=0.0) is False
+
+    def test_release_is_idempotent(self):
+        ctl = controller()
+        decision = ctl.decide(request(), now=0.0)
+        assert ctl.release(decision.job_id, now=0.5)
+        assert ctl.release(decision.job_id, now=0.5) is False
+
+    def test_expire_drops_lapsed_jobs_and_prunes_timeline(self):
+        ctl = controller()
+        for _ in range(5):
+            ctl.decide(request(cores=1, cache_ways=0), now=0.0)
+        assert ctl.inflight == 4 or ctl.inflight == 5
+        assert ctl.expire(now=100.0) == ctl.accounting.expired
+        assert ctl.inflight == 0
+        assert ctl.lac.reservations() == []
+
+    def test_expire_keeps_live_jobs(self):
+        ctl = controller()
+        ctl.decide(request(max_wall_clock=50.0), now=0.0)
+        ctl.expire(now=1.0)
+        assert ctl.inflight == 1
+
+
+class TestAccounting:
+    def test_every_path_conserves(self):
+        ctl = controller(breaker=CircuitBreaker(trip_after=1))
+        ctl.decide(request(), now=0.0)  # admit
+        ctl.decide(request(cores=9), now=0.0)  # reject-infeasible
+        ctl.shed(
+            DecisionOutcome.SHED_QUEUE_FULL, "full", now=0.0,
+            tenant="acme",
+        )
+        for _ in range(3):
+            ctl.breaker.record(HealthState.OVERLOADED)
+        ctl.decide(request(), now=0.0)  # shed-breaker
+        accounting = ctl.accounting
+        assert accounting.offered == 4
+        assert accounting.admitted == 1
+        assert accounting.rejected == 1
+        assert accounting.shed == 2
+        assert accounting.conserves
+        assert sum(accounting.by_outcome.values()) == accounting.offered
+
+    def test_shed_requires_a_shed_outcome(self):
+        ctl = controller()
+        with pytest.raises(ValueError):
+            ctl.shed(DecisionOutcome.ADMIT, "nope", now=0.0)
+
+    def test_stats_dict_shape(self):
+        ctl = controller()
+        ctl.decide(request(), now=0.0)
+        stats = ctl.stats_dict(now=1.0)
+        assert stats["accounting"]["offered"] == 1
+        assert stats["inflight"] == 1
+        assert stats["capacity"]["cores"] == 4
+        assert stats["lac"]["acceptances"] == 1
+        assert stats["breaker"]["ceiling"] == "strict"
+
+    def test_decisions_are_observed(self):
+        with observed(Observer()) as obs:
+            ctl = controller()
+            ctl.decide(request(), now=0.0)
+            ctl.decide(request(cores=9), now=0.0)
+            assert obs.metrics.value_of("serve.offered") == 2
+            assert (
+                obs.metrics.value_of("serve.decisions", outcome="admit")
+                == 1
+            )
+            kinds = obs.events.kinds()
+            assert "serve.decision" in kinds

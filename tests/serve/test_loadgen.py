@@ -1,0 +1,185 @@
+"""The deterministic load generator: schedule shape and the client."""
+
+import asyncio
+import collections
+
+import pytest
+
+from repro.obs import Observer, observed
+from repro.serve.loadgen import (
+    LoadConfig,
+    LoadGenerator,
+    LoadReport,
+    build_schedule,
+)
+from repro.serve.protocol import Decision, DecisionOutcome, parse_mode
+from repro.serve.server import QosServer, ServerConfig
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        config = LoadConfig(seed=42, requests=200)
+        assert build_schedule(config) == build_schedule(config)
+
+    def test_different_seeds_differ(self):
+        a = build_schedule(LoadConfig(seed=1, requests=100))
+        b = build_schedule(LoadConfig(seed=2, requests=100))
+        assert a != b
+
+    def test_arrivals_are_monotonic(self):
+        schedule = build_schedule(LoadConfig(seed=0, requests=300))
+        times = [item.at for item in schedule]
+        assert times == sorted(times)
+        assert times[0] >= 0.0
+
+    def test_zipf_popularity_is_skewed(self):
+        schedule = build_schedule(
+            LoadConfig(seed=7, requests=2000, tenants=10, zipf_alpha=1.2)
+        )
+        counts = collections.Counter(item.tenant for item in schedule)
+        ranked = [count for _, count in counts.most_common()]
+        # Head tenant dominates; the distribution is far from uniform.
+        assert ranked[0] > 2 * (2000 / 10)
+        assert ranked[0] > 4 * ranked[-1]
+
+    def test_wall_clocks_are_heavy_tailed_within_bounds(self):
+        config = LoadConfig(
+            seed=3, requests=2000,
+            min_wall_clock=0.1, max_wall_clock=10.0,
+        )
+        walls = [
+            item.payload["max_wall_clock"]
+            for item in build_schedule(config)
+        ]
+        assert all(0.1 <= wall <= 10.0 for wall in walls)
+        walls.sort()
+        median = walls[len(walls) // 2]
+        p95 = walls[int(len(walls) * 0.95)]
+        # Heavy tail: the 95th percentile dwarfs the median.
+        assert p95 > 4 * median
+
+    def test_mode_mix_follows_fractions(self):
+        config = LoadConfig(
+            seed=5, requests=3000,
+            strict_fraction=0.5, elastic_fraction=0.3,
+        )
+        modes = collections.Counter(
+            item.payload["mode"].split(":")[0]
+            for item in build_schedule(config)
+        )
+        assert modes["strict"] == pytest.approx(1500, rel=0.15)
+        assert modes["elastic"] == pytest.approx(900, rel=0.2)
+        assert modes["opportunistic"] == pytest.approx(600, rel=0.25)
+
+    def test_bursts_cluster_arrivals(self):
+        smooth = build_schedule(
+            LoadConfig(seed=9, requests=1000, burst_factor=1.0)
+        )
+        bursty = build_schedule(
+            LoadConfig(seed=9, requests=1000, burst_factor=8.0)
+        )
+
+        def variance_of_gaps(schedule):
+            gaps = [
+                b.at - a.at
+                for a, b in zip(schedule, schedule[1:])
+            ]
+            mean = sum(gaps) / len(gaps)
+            return sum((gap - mean) ** 2 for gap in gaps) / len(gaps)
+
+        assert variance_of_gaps(bursty) > 2 * variance_of_gaps(smooth)
+
+    def test_payloads_are_valid_admit_requests(self):
+        from repro.serve.protocol import AdmitRequest
+
+        for item in build_schedule(LoadConfig(seed=11, requests=100)):
+            request = AdmitRequest.from_dict(item.payload)
+            assert request.tenant == item.tenant
+            parse_mode(item.payload["mode"])
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"requests": 0},
+            {"burst_factor": 0.5},
+            {"burst_on_fraction": 0.0},
+            {"min_wall_clock": 0.0},
+            {"min_wall_clock": 2.0, "max_wall_clock": 1.0},
+            {"strict_fraction": 0.8, "elastic_fraction": 0.5},
+            {"deadline_stretch": 0.5},
+        ],
+    )
+    def test_config_validation(self, bad):
+        with pytest.raises(ValueError):
+            LoadConfig(**bad)
+
+
+class TestReport:
+    def decision(self, outcome):
+        return Decision(outcome=outcome, reason="", decision_latency=0.01)
+
+    def test_conservation_counts_transport_errors(self):
+        report = LoadReport()
+        report.record(self.decision(DecisionOutcome.ADMIT))
+        report.record(self.decision(DecisionOutcome.REJECT_CAPACITY))
+        report.record(self.decision(DecisionOutcome.SHED_OVERLOAD))
+        report.offered += 1
+        report.transport_errors += 1
+        assert report.offered == 4
+        assert report.conserves
+
+    def test_percentiles(self):
+        report = LoadReport()
+        for latency in (0.001, 0.002, 0.003, 0.004, 0.100):
+            report.record(
+                Decision(
+                    outcome=DecisionOutcome.ADMIT,
+                    reason="",
+                    decision_latency=latency,
+                )
+            )
+        assert report.percentile_latency(0.5) == pytest.approx(0.003)
+        assert report.percentile_latency(0.99) == pytest.approx(0.100)
+        assert LoadReport().percentile_latency(0.99) is None
+
+
+class TestAgainstLiveServer:
+    def test_overload_run_conserves_on_both_sides(self):
+        async def scenario():
+            with observed(Observer()):
+                server = QosServer(
+                    ServerConfig(
+                        port=0, cores=1, cache_ways=2,
+                        queue_limit=8, max_inflight=16,
+                        housekeeping_interval=0.01,
+                        drain_grace=0.5,
+                    )
+                )
+                await server.start()
+                generator = LoadGenerator(
+                    "127.0.0.1", server.port,
+                    connections=6, time_scale=0.02,
+                )
+                schedule = build_schedule(
+                    LoadConfig(
+                        seed=13, requests=250, mean_rate=300.0,
+                        cores_max=1, cache_ways_max=2,
+                    )
+                )
+                report = await generator.run(schedule)
+                await server.drain()
+                return server, report
+
+        server, report = asyncio.run(scenario())
+        assert report.offered == 250
+        assert report.transport_errors == 0
+        assert report.conserves
+        accounting = server.controller.accounting
+        assert accounting.conserves
+        assert accounting.unhandled_errors == 0
+        # The server's ledger has at least the client's requests (it
+        # also counts anything shed during drain).
+        assert accounting.offered >= report.offered
+        # p99 decision latency stays bounded even under pressure.
+        p99 = report.percentile_latency(0.99)
+        assert p99 is not None and p99 < 2.0

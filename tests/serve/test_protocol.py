@@ -1,0 +1,175 @@
+"""Wire-protocol invariants: parsing, validation, typed outcomes."""
+
+import math
+
+import pytest
+
+from repro.core.modes import ExecutionMode
+from repro.serve.protocol import (
+    AdmitRequest,
+    Category,
+    Decision,
+    DecisionOutcome,
+    ProtocolError,
+    parse_mode,
+    render_mode,
+)
+
+
+class TestModeWire:
+    def test_round_trips_every_mode(self):
+        for mode in (
+            ExecutionMode.strict(),
+            ExecutionMode.elastic(0.25),
+            ExecutionMode.opportunistic(),
+        ):
+            assert parse_mode(render_mode(mode)) == mode
+
+    def test_elastic_without_slack_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_mode("elastic")
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_mode("turbo")
+
+    def test_bad_slack_is_a_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse_mode("elastic:lots")
+        with pytest.raises(ProtocolError):
+            parse_mode("elastic:-1")
+
+
+class TestOutcomes:
+    def test_every_outcome_has_exactly_one_category(self):
+        for outcome in DecisionOutcome:
+            assert outcome.category in Category
+
+    def test_wire_names_are_unique(self):
+        wires = [outcome.wire for outcome in DecisionOutcome]
+        assert len(wires) == len(set(wires))
+
+    def test_http_statuses(self):
+        assert DecisionOutcome.ADMIT.http_status == 200
+        assert DecisionOutcome.ADMIT_DOWNGRADED.http_status == 200
+        assert DecisionOutcome.REJECT_INVALID.http_status == 400
+        assert DecisionOutcome.REJECT_CAPACITY.http_status == 409
+        assert DecisionOutcome.SHED_DRAINING.http_status == 503
+        assert DecisionOutcome.SHED_QUEUE_FULL.http_status == 429
+
+    def test_draining_is_not_retryable(self):
+        assert not DecisionOutcome.SHED_DRAINING.retryable
+        assert DecisionOutcome.SHED_OVERLOAD.retryable
+
+    def test_from_wire_round_trips(self):
+        for outcome in DecisionOutcome:
+            assert DecisionOutcome.from_wire(outcome.wire) is outcome
+        with pytest.raises(ProtocolError):
+            DecisionOutcome.from_wire("admit-eventually")
+
+
+class TestAdmitRequest:
+    def base(self, **overrides):
+        payload = {
+            "tenant": "acme",
+            "mode": "strict",
+            "cores": 2,
+            "max_wall_clock": 1.5,
+        }
+        payload.update(overrides)
+        return payload
+
+    def test_round_trip(self):
+        request = AdmitRequest.from_dict(self.base(deadline_in=4.0))
+        again = AdmitRequest.from_dict(request.to_dict())
+        assert again == request
+
+    def test_defaults(self):
+        request = AdmitRequest.from_dict(self.base())
+        assert request.allow_downgrade is True
+        assert request.deadline_in is None
+        assert request.timeout is None
+
+    @pytest.mark.parametrize(
+        "corruption",
+        [
+            {"tenant": ""},
+            {"tenant": 7},
+            {"mode": 3},
+            {"mode": "warp"},
+            {"cores": "two"},
+            {"cores": -1},
+            {"cores": 1.5},
+            {"max_wall_clock": 0},
+            {"max_wall_clock": -2},
+            {"max_wall_clock": float("nan")},
+            {"max_wall_clock": float("inf")},
+            {"deadline_in": -1},
+            {"allow_downgrade": "yes"},
+            {"timeout": float("nan")},
+            {"job": 9},
+        ],
+    )
+    def test_invalid_payloads_raise_protocol_error(self, corruption):
+        with pytest.raises(ProtocolError):
+            AdmitRequest.from_dict(self.base(**corruption))
+
+    def test_non_object_body_rejected(self):
+        for body in (None, [], "admit me", 42):
+            with pytest.raises(ProtocolError):
+                AdmitRequest.from_dict(body)
+
+    def test_deadline_before_wall_clock_is_unsatisfiable(self):
+        with pytest.raises(ProtocolError):
+            AdmitRequest.from_dict(
+                self.base(max_wall_clock=5.0, deadline_in=1.0)
+            )
+
+    def test_zero_resource_request_rejected(self):
+        with pytest.raises(ProtocolError):
+            AdmitRequest.from_dict(
+                self.base(cores=0, cache_ways=0, bandwidth_share=0.0)
+            )
+
+    def test_resources_property(self):
+        request = AdmitRequest.from_dict(
+            self.base(cores=2, cache_ways=4, bandwidth_share=0.25)
+        )
+        assert request.resources.cores == 2
+        assert request.resources.cache_ways == 4
+        assert request.resources.bandwidth_share == 0.25
+
+
+class TestDecision:
+    def test_round_trip_admitted(self):
+        decision = Decision(
+            outcome=DecisionOutcome.ADMIT_DOWNGRADED,
+            reason="granted elastic",
+            job_id=7,
+            granted_mode=ExecutionMode.elastic(0.5),
+            reserved_start=1.0,
+            reserved_end=2.5,
+            decision_latency=0.003,
+        )
+        again = Decision.from_dict(decision.to_dict())
+        assert again.outcome is decision.outcome
+        assert again.job_id == 7
+        assert again.granted_mode == ExecutionMode.elastic(0.5)
+        assert math.isclose(again.reserved_end, 2.5)
+        assert again.admitted
+
+    def test_round_trip_shed_with_retry_hint(self):
+        decision = Decision(
+            outcome=DecisionOutcome.SHED_QUEUE_FULL,
+            reason="queue full",
+            retry_after=0.125,
+        )
+        again = Decision.from_dict(decision.to_dict())
+        assert again.outcome is DecisionOutcome.SHED_QUEUE_FULL
+        assert again.retry_after == 0.125
+        assert not again.admitted
+        assert again.category is Category.SHED
+
+    def test_missing_outcome_rejected(self):
+        with pytest.raises(ProtocolError):
+            Decision.from_dict({"reason": "??"})

@@ -1,0 +1,173 @@
+"""Retry hints and the mode-ladder circuit breaker."""
+
+import pytest
+
+from repro.core.modes import ExecutionMode, ModeKind
+from repro.faults.resilience import DegradationStage
+from repro.serve.health import HealthState
+from repro.serve.shedding import CircuitBreaker, RetryAdvisor
+
+
+class TestRetryAdvisor:
+    def test_hints_grow_exponentially_per_key(self):
+        advisor = RetryAdvisor(seed=3, jitter=0.0)
+        delays = [advisor.advise("acme") for _ in range(4)]
+        assert delays == sorted(delays)
+        assert delays[1] == pytest.approx(delays[0] * 2.0)
+        assert delays[3] == pytest.approx(delays[0] * 8.0)
+
+    def test_reset_restarts_the_schedule(self):
+        advisor = RetryAdvisor(seed=3, jitter=0.0)
+        first = advisor.advise("acme")
+        advisor.advise("acme")
+        advisor.reset("acme")
+        assert advisor.advise("acme") == pytest.approx(first)
+
+    def test_keys_are_independent(self):
+        advisor = RetryAdvisor(seed=3, jitter=0.0)
+        advisor.advise("acme")
+        advisor.advise("acme")
+        fresh = advisor.advise("zenith")
+        assert fresh == pytest.approx(advisor.policy.delay(0))
+
+    def test_jitter_is_deterministic_for_a_seed(self):
+        a = RetryAdvisor(seed=9, jitter=0.5)
+        b = RetryAdvisor(seed=9, jitter=0.5)
+        assert [a.advise("t") for _ in range(5)] == [
+            b.advise("t") for _ in range(5)
+        ]
+
+    def test_jitter_never_shrinks_the_base_delay(self):
+        advisor = RetryAdvisor(seed=1, jitter=0.5)
+        base = advisor.policy.delay(0)
+        assert advisor.advise("t") >= base
+
+    def test_attempt_is_capped(self):
+        advisor = RetryAdvisor(seed=0, jitter=0.0, max_attempt=3)
+        for _ in range(10):
+            last = advisor.advise("t")
+        assert last == pytest.approx(advisor.policy.delay(3))
+
+    def test_key_table_is_bounded(self):
+        advisor = RetryAdvisor(seed=0, jitter=0.0, max_keys=8)
+        for index in range(50):
+            advisor.advise(f"tenant-{index}")
+        assert len(advisor._attempts) <= 8
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            RetryAdvisor(jitter=1.5)
+
+
+def overload(breaker, ticks):
+    for _ in range(ticks):
+        breaker.record(HealthState.OVERLOADED)
+
+
+def healthy(breaker, ticks):
+    for _ in range(ticks):
+        breaker.record(HealthState.HEALTHY)
+
+
+class TestCircuitBreaker:
+    def test_starts_fully_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.ceiling is DegradationStage.STRICT
+        assert not breaker.is_open
+
+    def test_trips_one_rung_per_sustained_overload(self):
+        breaker = CircuitBreaker(trip_after=3, recover_after=5)
+        overload(breaker, 2)
+        assert breaker.ceiling is DegradationStage.STRICT
+        overload(breaker, 1)
+        assert breaker.ceiling is DegradationStage.ELASTIC
+        overload(breaker, 3)
+        assert breaker.ceiling is DegradationStage.OPPORTUNISTIC
+        overload(breaker, 3)
+        assert breaker.is_open
+        # Bottom of the ladder: further overload cannot go lower.
+        overload(breaker, 10)
+        assert breaker.is_open
+
+    def test_recovers_one_rung_per_sustained_health(self):
+        breaker = CircuitBreaker(trip_after=2, recover_after=3)
+        overload(breaker, 4)  # down two rungs
+        assert breaker.ceiling is DegradationStage.OPPORTUNISTIC
+        healthy(breaker, 3)
+        assert breaker.ceiling is DegradationStage.ELASTIC
+        healthy(breaker, 3)
+        assert breaker.ceiling is DegradationStage.STRICT
+        healthy(breaker, 10)
+        assert breaker.ceiling is DegradationStage.STRICT
+
+    def test_degraded_resets_both_streaks(self):
+        breaker = CircuitBreaker(trip_after=3, recover_after=3)
+        overload(breaker, 2)
+        breaker.record(HealthState.DEGRADED)
+        overload(breaker, 2)  # streak restarted: still not tripped
+        assert breaker.ceiling is DegradationStage.STRICT
+        overload(breaker, 1)
+        assert breaker.ceiling is DegradationStage.ELASTIC
+        healthy(breaker, 2)
+        breaker.record(HealthState.DEGRADED)
+        healthy(breaker, 2)
+        assert breaker.ceiling is DegradationStage.ELASTIC
+
+    def test_flapping_health_never_trips(self):
+        breaker = CircuitBreaker(trip_after=3, recover_after=3)
+        for _ in range(20):
+            breaker.record(HealthState.OVERLOADED)
+            breaker.record(HealthState.HEALTHY)
+        assert breaker.ceiling is DegradationStage.STRICT
+
+    def test_record_reports_rung_changes(self):
+        breaker = CircuitBreaker(trip_after=2, recover_after=2)
+        assert breaker.record(HealthState.OVERLOADED) is False
+        assert breaker.record(HealthState.OVERLOADED) is True
+        assert breaker.transitions == 1
+
+
+class TestClamp:
+    def test_strict_ceiling_passes_everything(self):
+        breaker = CircuitBreaker()
+        for mode in (
+            ExecutionMode.strict(),
+            ExecutionMode.elastic(0.3),
+            ExecutionMode.opportunistic(),
+        ):
+            assert breaker.clamp(mode) == (mode, False)
+
+    def test_elastic_ceiling_downgrades_strict_only(self):
+        breaker = CircuitBreaker(trip_after=1, elastic_slack=0.4)
+        overload(breaker, 1)
+        granted, downgraded = breaker.clamp(ExecutionMode.strict())
+        assert downgraded
+        assert granted.kind is ModeKind.ELASTIC
+        assert granted.slack == pytest.approx(0.4)
+        kept, downgraded = breaker.clamp(ExecutionMode.elastic(0.2))
+        assert not downgraded and kept == ExecutionMode.elastic(0.2)
+
+    def test_opportunistic_ceiling_strips_reservations(self):
+        breaker = CircuitBreaker(trip_after=1)
+        overload(breaker, 2)
+        assert breaker.ceiling is DegradationStage.OPPORTUNISTIC
+        for mode in (ExecutionMode.strict(), ExecutionMode.elastic(0.5)):
+            granted, downgraded = breaker.clamp(mode)
+            assert downgraded
+            assert granted.kind is ModeKind.OPPORTUNISTIC
+        kept, downgraded = breaker.clamp(ExecutionMode.opportunistic())
+        assert not downgraded
+
+    def test_open_breaker_sheds(self):
+        breaker = CircuitBreaker(trip_after=1)
+        overload(breaker, 3)
+        assert breaker.is_open
+        assert breaker.clamp(ExecutionMode.strict()) is None
+
+    def test_to_dict_shape(self):
+        breaker = CircuitBreaker(trip_after=1)
+        overload(breaker, 1)
+        payload = breaker.to_dict()
+        assert payload["ceiling"] == "elastic"
+        assert payload["open"] is False
+        assert payload["transitions"] == 1

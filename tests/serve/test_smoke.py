@@ -1,0 +1,112 @@
+"""The serve-smoke acceptance test (mirrored by the CI job).
+
+A real ``repro serve`` subprocess sized at roughly *half* the offered
+load (2x overload), hit with a seeded 500-request burst, then SIGTERMed:
+
+- conservation: ``admitted + rejected + shed == offered`` on the
+  server's own ledger, and the client's ledger closes too;
+- zero unhandled exceptions server-side;
+- the process exits 0 on SIGTERM with artifacts flushed.
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+
+@pytest.mark.slow
+def test_serve_smoke_500_requests_at_2x_capacity(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    metrics = tmp_path / "metrics.jsonl"
+    events = tmp_path / "events.jsonl"
+    report_path = tmp_path / "load-report.json"
+
+    server = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--port", "0",
+            # Small node + tight gates: the burst is far beyond what it
+            # can hold, forcing downgrades and sheds.
+            "--cores", "1", "--cache-ways", "2",
+            "--queue-limit", "8", "--max-inflight", "16",
+            "--metrics-out", str(metrics),
+            "--events-out", str(events),
+        ],
+        env=env,
+        cwd=REPO_ROOT,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = server.stdout.readline()
+        match = re.search(r":(\d+) ", banner)
+        assert match, f"no port in server banner: {banner!r}"
+        port = int(match.group(1))
+
+        load = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "loadgen",
+                "--port", str(port),
+                "--seed", "2024",
+                "--requests", "500",
+                "--mean-rate", "200.0",
+                "--time-scale", "0.02",
+                "--connections", "8",
+                "--json", str(report_path),
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert load.returncode == 0, load.stdout + load.stderr
+
+        report = json.loads(report_path.read_text())
+        assert report["offered"] == 500
+        assert report["conserves"] is True
+        assert report["transport_errors"] == 0
+        assert report["p99_decision_latency"] is not None
+        assert report["p99_decision_latency"] < 2.0
+
+        server_view = report["server"]["accounting"]
+        assert server_view["conserves"] is True
+        assert server_view["unhandled_errors"] == 0
+        assert (
+            server_view["admitted"]
+            + server_view["rejected"]
+            + server_view["shed"]
+            == server_view["offered"]
+        )
+        # 2x overload on a 1-core node: the ladder must have engaged.
+        assert server_view["downgraded"] > 0 or server_view["shed"] > 0
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+        try:
+            exit_code = server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            raise AssertionError("server did not drain after SIGTERM")
+
+    tail = server.stdout.read()
+    assert exit_code == 0, f"server exited {exit_code}: {tail}"
+    assert "conserves=True" in tail
+    assert metrics.exists(), "metrics artifact not flushed on drain"
+    assert events.exists(), "events artifact not flushed on drain"
+    kinds = {
+        json.loads(line)["kind"]
+        for line in events.read_text().splitlines()
+    }
+    assert "serve.drain.begin" in kinds and "serve.drain.end" in kinds

@@ -1,0 +1,52 @@
+"""Crash-safe write helper: atomicity, durability knobs, cleanup."""
+
+import os
+
+import pytest
+
+from repro.util.atomicio import write_atomic_bytes, write_atomic_text
+
+
+class TestWriteAtomic:
+    def test_round_trip_text(self, tmp_path):
+        path = write_atomic_text(tmp_path / "entry.json", '{"a": 1}')
+        assert path.read_text() == '{"a": 1}'
+
+    def test_round_trip_bytes(self, tmp_path):
+        path = write_atomic_bytes(tmp_path / "blob.bin", b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_atomic_text(tmp_path / "a" / "b" / "c.txt", "x")
+        assert path.read_text() == "x"
+
+    def test_replaces_existing_file_whole(self, tmp_path):
+        target = tmp_path / "entry.json"
+        write_atomic_text(target, "old " * 1000)
+        write_atomic_text(target, "new")
+        assert target.read_text() == "new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_atomic_text(tmp_path / "entry.json", "payload")
+        names = sorted(entry.name for entry in tmp_path.iterdir())
+        assert names == ["entry.json"]
+
+    def test_failure_preserves_previous_version(self, tmp_path, monkeypatch):
+        target = tmp_path / "entry.json"
+        write_atomic_text(target, "good")
+
+        def explode(*_args, **_kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError):
+            write_atomic_text(target, "torn")
+        assert target.read_text() == "good"
+        leftovers = [
+            entry for entry in tmp_path.iterdir() if entry.name != "entry.json"
+        ]
+        assert leftovers == []
+
+    def test_fsync_disabled_still_atomic(self, tmp_path):
+        path = write_atomic_text(tmp_path / "fast.json", "x", fsync=False)
+        assert path.read_text() == "x"
