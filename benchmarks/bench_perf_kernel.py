@@ -1,20 +1,29 @@
 #!/usr/bin/env python
 """Performance trajectory bench for the simulation kernel.
 
-Times the three pieces of the performance layer on a fixed workload:
+Times the pieces of the performance layer on a fixed workload:
 
 1. **Kernel** — the same generated trace pushed through the reference
    object-model L2 and the fast flat-state kernel (accesses/sec each,
    and the counters are asserted identical while we're at it).
-2. **Parallel executor** — a multi-benchmark profiling sweep run with
-   ``jobs=1`` vs ``jobs=N`` through :func:`parallel_map`.
-3. **Miss-curve cache** — a cold profiling pass vs a warm re-run served
-   from the on-disk store.
+2. **Vectorised kernel** — the numpy batch LRU kernel (``fast-vec``)
+   against reference and fast on single caches, at a narrow and a wide
+   geometry, because its win is regime-dependent: rounds are as wide as
+   the number of distinct sets touched, so it pays off on wide caches
+   and loses to the scalar kernel on narrow ones.  Counters are gated,
+   speed is reported honestly but not gated.
+3. **Parallel executor** — a multi-benchmark profiling sweep run
+   through the persistent worker pool at jobs ∈ {1, 2, 4, 8} (clamped
+   to the affinity-visible CPU count), with per-jobs speedup and
+   efficiency.  Scaling floors only apply when the runner actually has
+   more than one visible CPU; on a cpuset-limited single-CPU container
+   only the serial/parallel identity check is meaningful.
+4. **Miss-curve cache** — a cold profiling pass vs a warm re-run
+   served from the on-disk store.
 
-Writes ``BENCH_perf.json`` (accesses/sec, speedups, hit rate) so
-successive commits leave a perf trajectory, and exits non-zero when the
-fast kernel loses its edge — CI runs ``--smoke`` so a kernel
-regression fails the build.
+Writes ``BENCH_perf.json`` so successive commits leave a perf
+trajectory, and exits non-zero when a gated number regresses — CI runs
+``--smoke`` so a kernel regression fails the build.
 
 Usage::
 
@@ -31,8 +40,9 @@ import time
 from pathlib import Path
 
 from repro.analysis import misscache
-from repro.analysis.parallel import parallel_map, resolve_jobs
-from repro.cache.backend import make_partitioned_cache
+from repro.analysis.parallel import parallel_map, visible_cpu_count
+from repro.cache.backend import make_cache, make_partitioned_cache
+from repro.cache.fastsim_vec import HAS_NUMPY
 from repro.cache.geometry import CacheGeometry
 from repro.cache.partitioned import PartitionClass
 from repro.util.rng import DeterministicRng
@@ -47,6 +57,9 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Benchmarks spanning the paper's three sensitivity groups.
 SWEEP_BENCHMARKS = ("bzip2", "hmmer", "gobmk", "sjeng")
+
+#: Candidate worker counts for the jobs sweep, clamped to visible CPUs.
+JOBS_CANDIDATES = (1, 2, 4, 8)
 
 
 def generate_trace(accesses, num_sets, block_bytes, num_cores, seed=2024):
@@ -79,6 +92,17 @@ def build_l2(backend, num_sets, block_bytes, num_cores):
     return l2
 
 
+def _timed_block(cache, addresses, writes, cores):
+    gc.disable()  # keep collector pauses out of the timed region
+    try:
+        start = time.perf_counter()
+        counters = cache.access_block(addresses, writes, cores)
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return counters, elapsed
+
+
 def bench_kernel(accesses, num_sets=512, block_bytes=64, num_cores=4):
     """Reference vs fast accesses/sec on one trace; counters must match."""
     trace = generate_trace(accesses, num_sets, block_bytes, num_cores)
@@ -87,13 +111,9 @@ def bench_kernel(accesses, num_sets=512, block_bytes=64, num_cores=4):
     counters = {}
     for backend in ("reference", "fast"):
         l2 = build_l2(backend, num_sets, block_bytes, num_cores)
-        gc.disable()  # keep collector pauses out of the timed region
-        try:
-            start = time.perf_counter()
-            counters[backend] = l2.access_block(addresses, writes, cores)
-            elapsed = time.perf_counter() - start
-        finally:
-            gc.enable()
+        counters[backend], elapsed = _timed_block(
+            l2, addresses, writes, cores
+        )
         results[f"{backend}_accesses_per_sec"] = round(
             len(addresses) / elapsed
         )
@@ -113,6 +133,85 @@ def bench_kernel(accesses, num_sets=512, block_bytes=64, num_cores=4):
     return results
 
 
+def generate_uniform_trace(
+    accesses, num_sets, block_bytes, num_cores, seed=2024
+):
+    """A miss-heavy trace spread uniformly over sets.
+
+    The vec kernel's round count equals the *maximum accesses landing
+    on any one set*, so a skewed mixture trace (hot sets) serialises it
+    while a uniform spread lets every round stay wide.  Benching both
+    keeps the regime boundary visible.
+    """
+    rng = DeterministicRng(seed, "bench-uniform")
+    addresses, writes, cores = [], [], []
+    for index in range(accesses):
+        set_index = rng.randint(0, num_sets - 1)
+        tag = rng.randint(0, 1023)
+        addresses.append((tag * num_sets + set_index) * block_bytes)
+        writes.append(rng.uniform() < 0.3)
+        cores.append(index % num_cores)
+    return addresses, writes, cores
+
+
+def bench_vec_kernel(accesses, cases, block_bytes=64, num_cores=4):
+    """fast-vec vs reference/fast batch throughput on single LRU caches.
+
+    Counters (totals and per-core) are asserted identical across all
+    three backends; throughput is reported per (geometry, trace shape)
+    case so the narrow-vs-wide / skewed-vs-uniform regime stays visible
+    in the trajectory.
+    """
+    if not HAS_NUMPY:
+        return {"skipped": "numpy not installed"}
+    results = {}
+    for label, num_sets, shape in cases:
+        make_trace = (
+            generate_uniform_trace if shape == "uniform" else generate_trace
+        )
+        addresses, writes, cores = make_trace(
+            accesses, num_sets, block_bytes, num_cores
+        )
+        geometry = CacheGeometry.from_sets(num_sets, 8, block_bytes)
+        per_backend = {}
+        snapshots = {}
+        for backend in ("reference", "fast", "fast-vec"):
+            cache = make_cache(
+                geometry, name=f"bench-{backend}", backend=backend
+            )
+            _, elapsed = _timed_block(cache, addresses, writes, cores)
+            per_backend[f"{backend}_accesses_per_sec"] = round(
+                len(addresses) / elapsed
+            )
+            snapshots[backend] = (
+                cache.stats.snapshot(),
+                dict(cache.stats.per_core),
+            )
+        for backend in ("fast", "fast-vec"):
+            if snapshots[backend] != snapshots["reference"]:
+                raise SystemExit(
+                    f"FAIL: {backend} counters diverge from reference at "
+                    f"{num_sets} sets:\n"
+                    f"  reference: {snapshots['reference']}\n"
+                    f"  {backend}: {snapshots[backend]}"
+                )
+        per_backend["num_sets"] = num_sets
+        per_backend["trace"] = shape
+        per_backend["accesses"] = len(addresses)
+        per_backend["vec_vs_fast"] = round(
+            per_backend["fast-vec_accesses_per_sec"]
+            / per_backend["fast_accesses_per_sec"],
+            2,
+        )
+        per_backend["vec_vs_reference"] = round(
+            per_backend["fast-vec_accesses_per_sec"]
+            / per_backend["reference_accesses_per_sec"],
+            2,
+        )
+        results[label] = per_backend
+    return results
+
+
 def _profile_point(payload):
     name, num_sets, accesses = payload
     curve = profile_benchmark(
@@ -121,23 +220,39 @@ def _profile_point(payload):
     return name, curve.points
 
 
-def bench_parallel(num_sets, accesses, jobs):
-    """Serial vs parallel sweep over SWEEP_BENCHMARKS; output must match."""
+def bench_parallel(num_sets, accesses, jobs_values):
+    """Jobs sweep over SWEEP_BENCHMARKS; every level must match serial."""
     payloads = [(name, num_sets, accesses) for name in SWEEP_BENCHMARKS]
-    timings = {}
-    outputs = {}
-    for label, n in (("serial", 1), ("parallel", jobs)):
+    start = time.perf_counter()
+    expected = parallel_map(_profile_point, payloads, jobs=1)
+    serial_seconds = time.perf_counter() - start
+    sweep = []
+    for jobs in jobs_values:
         start = time.perf_counter()
-        outputs[label] = parallel_map(_profile_point, payloads, jobs=n)
-        timings[f"{label}_seconds"] = round(time.perf_counter() - start, 4)
-    if outputs["parallel"] != outputs["serial"]:
-        raise SystemExit("FAIL: parallel sweep output differs from serial")
-    timings["jobs"] = jobs
-    timings["points"] = len(payloads)
-    timings["speedup"] = round(
-        timings["serial_seconds"] / max(timings["parallel_seconds"], 1e-9), 2
-    )
-    return timings
+        output = parallel_map(_profile_point, payloads, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        if output != expected:
+            raise SystemExit(
+                f"FAIL: jobs={jobs} sweep output differs from serial"
+            )
+        speedup = round(serial_seconds / max(elapsed, 1e-9), 2)
+        sweep.append(
+            {
+                "jobs": jobs,
+                "seconds": round(elapsed, 4),
+                "speedup": speedup,
+                "efficiency": round(speedup / jobs, 2),
+            }
+        )
+    by_jobs = {entry["jobs"]: entry for entry in sweep}
+    headline = by_jobs.get(2, sweep[-1])
+    return {
+        "points": len(payloads),
+        "serial_seconds": round(serial_seconds, 4),
+        "jobs_sweep": sweep,
+        "speedup": headline["speedup"],
+        "speedup_jobs": headline["jobs"],
+    }
 
 
 def bench_misscache(num_sets, accesses):
@@ -181,13 +296,13 @@ def main(argv=None):
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small trace sizes for CI; relaxed speedup threshold",
+        help="small trace sizes for CI; relaxed speedup thresholds",
     )
     parser.add_argument(
-        "--jobs",
+        "--max-jobs",
         type=int,
         default=0,
-        help="worker count for the parallel section (0 = all cores)",
+        help="cap for the jobs sweep (0 = affinity-visible CPU count)",
     )
     parser.add_argument(
         "--output",
@@ -199,18 +314,33 @@ def main(argv=None):
 
     if args.smoke:
         kernel_accesses, sweep_sets, sweep_accesses = 40_000, 16, 4_000
-        min_speedup = 2.0
+        vec_cases = [
+            ("narrow-skewed", 64, "mixture"),
+            ("wide-uniform", 512, "uniform"),
+        ]
+        min_kernel_speedup, min_jobs_speedup = 2.0, 1.2
     else:
         kernel_accesses, sweep_sets, sweep_accesses = 400_000, 64, 40_000
-        min_speedup = 5.0
-    jobs = resolve_jobs(args.jobs)
-    if args.jobs == 0:
-        # Exercise the pool path even on a single-core machine; the
-        # identity check matters there more than the wall-clock number.
-        jobs = max(jobs, 2)
-    jobs = min(jobs, len(SWEEP_BENCHMARKS))
+        vec_cases = [
+            ("narrow-skewed", 64, "mixture"),
+            ("wide-skewed", 2048, "mixture"),
+            ("wide-uniform", 2048, "uniform"),
+        ]
+        min_kernel_speedup, min_jobs_speedup = 5.0, 1.5
 
-    print(f"kernel: {kernel_accesses} accesses, both backends ...")
+    visible = visible_cpu_count()
+    max_jobs = args.max_jobs if args.max_jobs > 0 else visible
+    # Always exercise jobs=2 so the pool path and the serial/parallel
+    # identity check run even on a single-CPU container; never spawn
+    # more workers than sweep points (parallel_map would cap anyway).
+    jobs_values = sorted(
+        {n for n in JOBS_CANDIDATES if 1 < n <= max_jobs}
+        | {2}
+    )
+    jobs_values = [min(n, len(SWEEP_BENCHMARKS)) for n in jobs_values]
+    jobs_values = sorted(set(jobs_values))
+
+    print(f"kernel: {kernel_accesses} accesses, reference vs fast ...")
     kernel = bench_kernel(kernel_accesses)
     print(
         f"  reference {kernel['reference_accesses_per_sec']:,} acc/s, "
@@ -218,13 +348,32 @@ def main(argv=None):
         f"({kernel['speedup']}x, counters identical)"
     )
 
-    print(f"parallel: {len(SWEEP_BENCHMARKS)}-point sweep, jobs={jobs} ...")
-    parallel = bench_parallel(sweep_sets, sweep_accesses, jobs)
+    print("vec kernel: single-cache batch, all backends ...")
+    vec = bench_vec_kernel(kernel_accesses, vec_cases)
+    if "skipped" in vec:
+        print(f"  skipped: {vec['skipped']}")
+    else:
+        for label, row in vec.items():
+            print(
+                f"  {label} ({row['num_sets']} sets, {row['trace']}): "
+                f"vec {row['fast-vec_accesses_per_sec']:,} acc/s — "
+                f"{row['vec_vs_fast']}x vs fast, "
+                f"{row['vec_vs_reference']}x vs reference "
+                "(counters identical)"
+            )
+
     print(
-        f"  serial {parallel['serial_seconds']}s, "
-        f"parallel {parallel['parallel_seconds']}s "
-        f"({parallel['speedup']}x, output identical)"
+        f"parallel: {len(SWEEP_BENCHMARKS)}-point sweep, "
+        f"jobs in {jobs_values} ({visible} visible CPU(s)) ..."
     )
+    parallel = bench_parallel(sweep_sets, sweep_accesses, jobs_values)
+    print(f"  serial {parallel['serial_seconds']}s")
+    for entry in parallel["jobs_sweep"]:
+        print(
+            f"  jobs={entry['jobs']}: {entry['seconds']}s "
+            f"({entry['speedup']}x, efficiency {entry['efficiency']}, "
+            "output identical)"
+        )
 
     print("miss-cache: cold vs warm profiling pass ...")
     cache = bench_misscache(sweep_sets, sweep_accesses)
@@ -238,7 +387,9 @@ def main(argv=None):
         "bench": "perf_kernel",
         "mode": "smoke" if args.smoke else "standard",
         "cpu_count": os.cpu_count(),
+        "visible_cpus": visible,
         "kernel": kernel,
+        "kernel_vec": vec,
         "parallel": parallel,
         "miss_cache": cache,
     }
@@ -246,15 +397,34 @@ def main(argv=None):
     print(f"wrote {args.output}")
 
     failures = []
-    if kernel["speedup"] < min_speedup:
+    if kernel["speedup"] < min_kernel_speedup:
         failures.append(
             f"fast kernel speedup {kernel['speedup']}x is below the "
-            f"{min_speedup}x floor"
+            f"{min_kernel_speedup}x floor"
         )
     if cache["warm_hit_rate"] < 0.5:
         failures.append(
             f"warm miss-cache hit rate {cache['warm_hit_rate']:.0%} "
             "is below 50%"
+        )
+    if visible >= 2:
+        if parallel["speedup"] < min_jobs_speedup:
+            failures.append(
+                f"jobs={parallel['speedup_jobs']} speedup "
+                f"{parallel['speedup']}x is below the "
+                f"{min_jobs_speedup}x floor"
+            )
+        if not args.smoke:
+            largest = parallel["jobs_sweep"][-1]
+            if largest["efficiency"] < 0.6:
+                failures.append(
+                    f"jobs={largest['jobs']} efficiency "
+                    f"{largest['efficiency']} is below the 0.6 floor"
+                )
+    else:
+        print(
+            "note: 1 visible CPU — parallel scaling floors skipped "
+            "(identity checks still enforced)"
         )
     if failures:
         for failure in failures:

@@ -8,11 +8,20 @@ parallelism; here it is one helper, :func:`parallel_map`, used by
 ``analysis/sensitivity.py`` behind a ``jobs=`` parameter (the CLI's
 ``--jobs N``).
 
+Since the persistent-pool rework, :func:`parallel_map` is a thin front
+over :mod:`repro.analysis.pool`: work is dispatched in adaptive
+contiguous chunks onto a process-wide :class:`~repro.analysis.pool.\
+WorkerPool` that is forked once and reused across sweeps, with shared
+read-only state (resolved cache backend, miss-cache config, and the
+caller's ``shared`` payload) installed in each worker by the pool
+initializer rather than re-pickled per point.
+
 Guarantees:
 
 - **Deterministic ordering** — results come back in input order
-  regardless of worker scheduling (``Pool.map`` semantics), so a
-  parallel run's output is identical to the serial run's.
+  regardless of worker scheduling (chunks are contiguous input slices,
+  folded in order), so a parallel run's output is identical to the
+  serial run's.
 - **Graceful serial fallback** — ``jobs=1`` (the default) never touches
   ``multiprocessing``: the work runs inline, exceptions propagate
   naturally, and debuggers/profilers see one process.
@@ -23,30 +32,46 @@ Guarantees:
   :func:`repro.util.rng.derive_seed`.
 
 Workers must be module-level functions and their payloads picklable
-(spawn-safe — the macOS/Windows default start method).  Session state
-that lives in environment variables (the cache-backend default, the
-miss-cache directory and enable flag) is inherited by workers under
-both fork and spawn because the setters mirror into ``os.environ``.
+(spawn-safe — the macOS/Windows default start method).  Bulky inputs
+shared by every point (curves, machine/sim configs, workload profiles)
+travel once per pool via ``shared=`` and are read back inside the
+worker function with :func:`repro.analysis.pool.current_shared`; the
+serial path installs the same payload in-process, so worker functions
+are written once.
 
 **Observer aggregation** — when the parent process has a live observer
-installed, each worker runs its point under a *local* observer (worker
+installed, each worker runs its *chunk* under a local observer (worker
 processes never see the parent's in-memory observer), ships the
-telemetry back alongside the result, and the parent folds the worker
+telemetry back once per chunk, and the parent folds the chunk
 observers into its own **in input order**.  Counters add, gauges take
 the last write in input order, summaries replay their retained samples,
-events rebase onto the parent's sequence space, trace spans append
-verbatim.  Because serial execution visits the same points in the same
-order, ``--jobs N`` produces byte-identical metric snapshots to
-``--jobs 1``.
+events rebase onto the parent's sequence space (across chunk
+boundaries), trace spans append verbatim.  Because serial execution
+visits the same points in the same order, ``--jobs N`` produces
+byte-identical metric snapshots to ``--jobs 1``.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
 
-from repro.obs import Observer, get_observer, observed
+from repro.analysis.pool import (
+    WorkerPool,
+    existing_pool,
+    installed_shared,
+    shared_pool,
+    worker_fingerprint,
+)
 from repro.util.rng import derive_seed
+
+__all__ = [
+    "parallel_map",
+    "point_seed",
+    "pool_fingerprints",
+    "resolve_jobs",
+    "worker_fingerprint",
+]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -56,13 +81,31 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalise a ``--jobs`` request to a concrete worker count.
 
     ``None`` and ``1`` mean serial; ``0`` and negative values mean "all
-    cores" (like ``make -j``); anything else is used as given.
+    cores" (like ``make -j``) — the affinity-visible count where the
+    platform exposes one, so a container pinned to 2 of 64 cores forks
+    2 workers, not 64; anything else is used as given.
     """
     if jobs is None:
         return 1
     if jobs <= 0:
-        return os.cpu_count() or 1
+        return visible_cpu_count()
     return jobs
+
+
+def visible_cpu_count() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.sched_getaffinity`` where available (Linux — respects
+    cgroup/affinity masks, the count that governs real scaling),
+    ``os.cpu_count()`` elsewhere.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - exotic platforms
+            pass
+    return os.cpu_count() or 1
 
 
 def point_seed(parent_seed: int, label: object) -> int:
@@ -76,120 +119,29 @@ def point_seed(parent_seed: int, label: object) -> int:
     return derive_seed(parent_seed, f"point-{label}")
 
 
-def worker_fingerprint(_item: object = None) -> dict:
-    """Session state a worker process actually resolved, as plain data.
+def pool_fingerprints(
+    jobs: Optional[int], *, pool: Optional[WorkerPool] = None
+) -> List[dict]:
+    """Fingerprint the parent plus each live persistent-pool worker.
 
-    Captures the settings that must survive the trip into a
-    multiprocessing worker for ``--jobs N`` to reproduce the serial
-    run: the resolved cache backend and the miss-cache enable flag and
-    directory.  Module-level (picklable) so it can be mapped over a
-    pool; callable inline for the serial baseline.
-    """
-    from repro.analysis import misscache
-    from repro.cache.backend import default_backend
-
-    return {
-        "pid": os.getpid(),
-        "cache_backend": default_backend(),
-        "miss_cache_enabled": misscache.enabled(),
-        "miss_cache_dir": str(misscache.cache_dir()),
-    }
-
-
-def pool_fingerprints(jobs: Optional[int]) -> List[dict]:
-    """Fingerprint the parent plus each prospective worker slot.
-
-    Runs :func:`worker_fingerprint` inline once and then across a pool
-    of ``jobs`` workers (one probe per slot).  ``verify diff`` prints
-    these when a jobs-pair mismatches so backend/miss-cache divergence
-    between parent and workers is visible rather than inferred.
+    Probes the pool a sweep at this worker count *actually uses* — the
+    process-wide persistent pool, preferring one that already exists
+    (even if the session state has drifted since it forked, which is
+    exactly the divergence worth seeing) over forking a pristine one.
+    ``verify diff`` prints these when a jobs-pair mismatches so
+    backend/miss-cache divergence between parent and workers is
+    visible rather than inferred.
     """
     worker_count = resolve_jobs(jobs)
     fingerprints = [dict(worker_fingerprint(), role="parent")]
     if worker_count <= 1:
         return fingerprints
-    import multiprocessing
-
-    with multiprocessing.Pool(worker_count) as pool:
-        probes = pool.map(worker_fingerprint, range(worker_count))
-    fingerprints.extend(dict(probe, role="worker") for probe in probes)
+    if pool is None:
+        pool = existing_pool(worker_count) or shared_pool(worker_count)
+    fingerprints.extend(
+        dict(probe, role="worker") for probe in pool.fingerprints()
+    )
     return fingerprints
-
-
-class _ObservedTask:
-    """Picklable wrapper running one point under a worker-local observer.
-
-    The worker installs a fresh :class:`Observer` (with summary-sample
-    retention, so the parent can merge by exact replay), runs the real
-    function, and returns ``(result, observer)`` — observers are plain
-    data (dicts, lists, dataclasses) and pickle cleanly.
-    """
-
-    __slots__ = ("func",)
-
-    def __init__(self, func: Callable[[T], R]) -> None:
-        self.func = func
-
-    def __call__(self, item: T) -> Tuple[R, Observer]:
-        telemetry = Observer(record_samples=True)
-        with observed(telemetry):
-            result = self.func(item)
-        return result, telemetry
-
-
-def _robust_pool_map(
-    task: Callable[[T], R],
-    items: List[T],
-    worker_count: int,
-    *,
-    task_timeout: float,
-    task_retries: int,
-) -> List[R]:
-    """Pool map that survives hung or killed workers.
-
-    Each item is submitted as its own task and collected with a
-    per-task timeout.  A worker that crashes (``SIGKILL``, OOM, a
-    segfaulting extension) loses its in-flight task — the result never
-    arrives and the wait times out; a hung worker looks identical.
-    Timed-out items are retried in a **fresh** pool up to
-    ``task_retries`` times (the old pool is ``terminate()``'d, so a
-    wedged worker cannot leak), and items still failing after that run
-    **serially in the parent** — the point is recomputed rather than
-    silently dropped, so results stay complete and in input order.
-
-    Exceptions *raised by the task itself* are not retried: they
-    propagate exactly as in the serial path — a deterministic bug
-    would fail every retry anyway, and hiding it behind retries would
-    only triple the time to the traceback.
-    """
-    import multiprocessing
-
-    results: List[Optional[R]] = [None] * len(items)
-    pending = list(range(len(items)))
-    for _attempt in range(task_retries + 1):
-        if not pending:
-            break
-        pool = multiprocessing.Pool(min(worker_count, len(pending)))
-        try:
-            handles = {
-                index: pool.apply_async(task, (items[index],))
-                for index in pending
-            }
-            survivors: List[int] = []
-            for index in pending:
-                try:
-                    results[index] = handles[index].get(task_timeout)
-                except multiprocessing.TimeoutError:
-                    survivors.append(index)
-        finally:
-            # terminate(), not close(): a hung/killed worker would make
-            # close()+join() wait forever on work that will never finish.
-            pool.terminate()
-            pool.join()
-        pending = survivors
-    for index in pending:  # serial fallback, parent process
-        results[index] = task(items[index])
-    return results  # type: ignore[return-value]
 
 
 def parallel_map(
@@ -197,67 +149,52 @@ def parallel_map(
     items: Sequence[T],
     *,
     jobs: Optional[int] = 1,
-    chunksize: int = 1,
     task_timeout: Optional[float] = None,
     task_retries: int = 1,
+    shared: Any = None,
+    pool: Optional[WorkerPool] = None,
 ) -> List[R]:
     """Map ``func`` over ``items``, optionally across processes.
 
-    With ``jobs=1`` this is ``[func(item) for item in items]``.  With
-    more jobs a ``multiprocessing.Pool`` runs the map; ``func`` must be
-    a module-level function and every item picklable.  Results are
-    always in input order.  Worker counts are capped at ``len(items)``
-    — there is no point forking more processes than points.
+    With ``jobs=1`` this is ``[func(item) for item in items]`` (with
+    ``shared`` scoped in-process).  With more jobs the work runs on
+    the process-wide persistent :class:`WorkerPool` for that worker
+    count — forked on first use, reused across calls and sweeps while
+    the session state and ``shared`` payload are unchanged — in
+    adaptive contiguous chunks; ``func`` must be a module-level
+    function and every item picklable.  Results are always in input
+    order.  Worker counts are capped at ``len(items)`` — there is no
+    point forking more processes than points.
 
-    ``task_timeout`` (seconds) arms the crash-resilient path: any item
-    whose worker dies or hangs is retried in a fresh pool up to
-    ``task_retries`` times and finally recomputed serially in the
-    parent (see :func:`_robust_pool_map`).  The default (``None``)
-    keeps the fast ``Pool.map`` path with no liveness monitoring.
-    Exceptions raised by ``func`` itself always propagate, on both
-    paths.
+    ``shared`` is a read-only payload shipped to workers once at pool
+    fork (not per task); worker functions read it back with
+    :func:`repro.analysis.pool.current_shared` on both the serial and
+    the parallel path.  ``pool`` runs the map on an explicit
+    :class:`WorkerPool` instead (its ``shared`` payload, its workers).
+
+    ``task_timeout`` (seconds per item) arms the crash-resilient path:
+    any chunk whose worker dies or hangs is retried on the same
+    persistent pool up to ``task_retries`` times and finally
+    recomputed serially in the parent.  The default (``None``) keeps
+    the fast path with no liveness monitoring.  Exceptions raised by
+    ``func`` itself always propagate, on both paths.
 
     When the parent has a live observer, worker telemetry is captured
-    per point and merged back deterministically (see module docstring);
-    with the default null observer, workers run unobserved and nothing
-    is shipped.  On the resilient path the merge happens after all
-    points complete, still in input order, so retries and fallbacks
-    cannot reorder telemetry.
+    per chunk and merged back deterministically (see module
+    docstring); with the default null observer, workers run unobserved
+    and nothing is shipped.
     """
-    worker_count = resolve_jobs(jobs)
     items = list(items)
-    if worker_count <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    worker_count = min(worker_count, len(items))
-    import multiprocessing
-
-    parent_observer = get_observer()
-    if not parent_observer.enabled:
-        if task_timeout is not None:
-            return _robust_pool_map(
-                func,
-                items,
-                worker_count,
-                task_timeout=task_timeout,
-                task_retries=task_retries,
-            )
-        with multiprocessing.Pool(worker_count) as pool:
-            return pool.map(func, items, chunksize=chunksize)
-
-    task = _ObservedTask(func)
-    if task_timeout is not None:
-        pairs = _robust_pool_map(
-            task,
-            items,
-            worker_count,
-            task_timeout=task_timeout,
-            task_retries=task_retries,
-        )
-    else:
-        with multiprocessing.Pool(worker_count) as pool:
-            pairs = pool.map(task, items, chunksize=chunksize)
-    results: List[R] = []
-    for result, telemetry in pairs:  # input order == serial order
-        parent_observer.absorb(telemetry)
-        results.append(result)
-    return results
+    if pool is None:
+        worker_count = resolve_jobs(jobs)
+        if worker_count <= 1 or len(items) <= 1:
+            with installed_shared(shared):
+                return [func(item) for item in items]
+        worker_count = min(worker_count, len(items))
+        pool = shared_pool(worker_count, shared=shared)
+    return pool.map(
+        func,
+        items,
+        task_timeout=task_timeout,
+        task_retries=task_retries,
+    )

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.analysis.parallel import parallel_map
+from repro.analysis.pool import current_shared
 from repro.core.config import CONFIGURATIONS, ModeMixConfig
 from repro.faults.model import FaultConfig
 from repro.sim.config import MachineConfig, SimulationConfig
@@ -82,10 +83,14 @@ def _workload_for(
     )
 
 
-def _configuration_worker(payload: Tuple) -> Tuple[str, SystemResult]:
-    """Run one configuration point (module-level for picklability)."""
+def _configuration_worker(name: str) -> Tuple[str, SystemResult]:
+    """Run one configuration point (module-level for picklability).
+
+    The per-task payload is just the configuration name; everything
+    common to the sweep (benchmark, counts, machine/sim configs, the
+    curve set) ships once per pool as the shared payload.
+    """
     (
-        name,
         benchmark_or_mix,
         count,
         seed,
@@ -93,7 +98,7 @@ def _configuration_worker(payload: Tuple) -> Tuple[str, SystemResult]:
         sim_config,
         curves,
         record_trace,
-    ) = payload
+    ) = current_shared()
     workload = _workload_for(
         benchmark_or_mix, CONFIGURATIONS[name], count=count, seed=seed
     )
@@ -130,20 +135,18 @@ def run_all_configurations(
         if configurations is not None
         else list(CONFIGURATIONS)
     )
-    payloads = [
-        (
-            name,
-            benchmark_or_mix,
-            count,
-            seed,
-            machine,
-            sim_config,
-            curves,
-            record_trace,
-        )
-        for name in names
-    ]
-    pairs = parallel_map(_configuration_worker, payloads, jobs=jobs)
+    shared = (
+        benchmark_or_mix,
+        count,
+        seed,
+        machine,
+        sim_config,
+        curves,
+        record_trace,
+    )
+    pairs = parallel_map(
+        _configuration_worker, names, jobs=jobs, shared=shared
+    )
     return dict(pairs)
 
 

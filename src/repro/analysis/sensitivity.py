@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.parallel import parallel_map
+from repro.analysis.pool import current_shared
 from repro.workloads.benchmarks import BENCHMARKS, BenchmarkProfile
 from repro.workloads.profiler import MissRatioCurve, get_curve
 
@@ -69,9 +70,9 @@ def sensitivity_point(
     )
 
 
-def _sensitivity_worker(payload: Tuple) -> SensitivityPoint:
+def _sensitivity_worker(name: str) -> SensitivityPoint:
     """Profile one benchmark's point (module-level for pickling)."""
-    name, num_sets, accesses, backend = payload
+    num_sets, accesses, backend = current_shared()
     return sensitivity_point(
         BENCHMARKS[name],
         num_sets=num_sets,
@@ -97,8 +98,12 @@ def sensitivity_points(
     the cache for everyone.
     """
     names = sorted(benchmarks) if benchmarks is not None else sorted(BENCHMARKS)
-    payloads = [(name, num_sets, accesses, backend) for name in names]
-    return parallel_map(_sensitivity_worker, payloads, jobs=jobs)
+    return parallel_map(
+        _sensitivity_worker,
+        names,
+        jobs=jobs,
+        shared=(num_sets, accesses, backend),
+    )
 
 
 def classify_benchmarks(

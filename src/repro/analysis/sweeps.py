@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.parallel import parallel_map
+from repro.analysis.pool import current_shared
 from repro.cache.geometry import CacheGeometry
 from repro.core.cluster import ClusterJobProfile, ClusterSimulator
 from repro.core.config import ModeMixConfig
@@ -39,9 +40,9 @@ class SlackPoint:
     deadline_hit_rate: float
 
 
-def _slack_worker(payload: Tuple) -> SlackPoint:
+def _slack_worker(slack: float) -> SlackPoint:
     """Simulate one Figure 8 slack point (module-level for pickling)."""
-    slack, benchmark, curves, sim_config = payload
+    benchmark, curves, sim_config = current_shared()
     config = ModeMixConfig(
         name=f"Hybrid-2(X={slack:.0%})",
         strict_fraction=0.4,
@@ -89,10 +90,12 @@ def sweep_elastic_slack(
     point's inputs are fixed by the call, so the series is identical
     to a serial run.
     """
-    payloads = [
-        (slack, benchmark, curves, sim_config) for slack in slacks
-    ]
-    return parallel_map(_slack_worker, payloads, jobs=jobs)
+    return parallel_map(
+        _slack_worker,
+        list(slacks),
+        jobs=jobs,
+        shared=(benchmark, curves, sim_config),
+    )
 
 
 @dataclass(frozen=True)
@@ -105,16 +108,15 @@ class CacheSizePoint:
     deadline_hit_rate: float
 
 
-def _cache_size_worker(payload: Tuple) -> CacheSizePoint:
+def _cache_size_worker(ways: int) -> CacheSizePoint:
     """Simulate one cache-capacity point (module-level for pickling)."""
     (
-        ways,
         benchmark,
         configuration,
         curves,
         sim_config,
         requested_fraction,
-    ) = payload
+    ) = current_shared()
     machine = MachineConfig(
         l2_geometry=CacheGeometry.from_sets(2048, ways, 64)
     )
@@ -160,11 +162,18 @@ def sweep_cache_size(
     for ways in way_counts:
         if ways < 2:
             raise ValueError(f"need at least 2 ways, got {ways}")
-    payloads = [
-        (ways, benchmark, configuration, curves, sim_config, requested_fraction)
-        for ways in way_counts
-    ]
-    return parallel_map(_cache_size_worker, payloads, jobs=jobs)
+    return parallel_map(
+        _cache_size_worker,
+        list(way_counts),
+        jobs=jobs,
+        shared=(
+            benchmark,
+            configuration,
+            curves,
+            sim_config,
+            requested_fraction,
+        ),
+    )
 
 
 @dataclass(frozen=True)
@@ -176,9 +185,9 @@ class LoadPoint:
     mean_load: float
 
 
-def _arrival_rate_worker(payload: Tuple) -> LoadPoint:
+def _arrival_rate_worker(interarrival: float) -> LoadPoint:
     """Simulate one offered-load point (module-level for pickling)."""
-    interarrival, profiles, num_nodes, horizon, seed = payload
+    profiles, num_nodes, horizon, seed = current_shared()
     report = ClusterSimulator(
         num_nodes=num_nodes,
         profiles=list(profiles),
@@ -207,8 +216,9 @@ def sweep_arrival_rate(
     behaviour), so acceptance differences across points reflect only
     the offered load; ``jobs`` distributes points across processes.
     """
-    payloads = [
-        (interarrival, tuple(profiles), num_nodes, horizon, seed)
-        for interarrival in interarrivals
-    ]
-    return parallel_map(_arrival_rate_worker, payloads, jobs=jobs)
+    return parallel_map(
+        _arrival_rate_worker,
+        list(interarrivals),
+        jobs=jobs,
+        shared=(tuple(profiles), num_nodes, horizon, seed),
+    )

@@ -1,0 +1,424 @@
+"""Vectorised (numpy) batch LRU cache-simulation kernel.
+
+:mod:`repro.cache.fastsim` removed the per-access object overhead of
+the reference cache but still walks the trace one access at a time in
+Python bytecode.  This module vectorises the batch path: the cache
+state lives in numpy arrays and :meth:`access_block` processes whole
+address batches with array operations.
+
+The obstacle to vectorising an LRU cache is that accesses to the *same
+set* are sequentially dependent (each one can change the recency order
+and contents the next one observes), while accesses to *different*
+sets are independent.  The kernel exploits exactly that split with a
+**lockstep-over-sets** schedule:
+
+1. Stable-sort the batch by set index and compute each access's rank
+   within its set's group.  Rank ``r`` accesses form *round* ``r``.
+2. Within one round every set appears at most once, so the whole round
+   is data-parallel: gather the touched sets' tag/meta/recency rows,
+   match tags, apply hits and misses with scatter stores, and advance.
+3. Rounds execute in order, so the ``k``-th access to any given set
+   observes exactly the state left by its ``k-1`` predecessors —
+   access-for-access the same schedule the scalar kernel runs, merely
+   regrouped across independent sets.
+
+Recency is a per-line integer stamp from a monotonically increasing
+clock (one tick per round, plus one per scalar access).  Each set gets
+at most one new stamp per round, so stamps are unique within a set and
+``argmin(stamp)`` is exactly the dict-ordered kernel's "first tag in
+LRU-first iteration order".  All counters are order-independent sums
+folded once per batch, so totals and per-core rows are byte-identical
+to the reference — pinned, like the ``fast`` backend, by
+``tests/cache/test_fastsim_differential.py``.
+
+State layout (per line, shaped ``(num_sets, associativity)``):
+
+- ``_tags`` — the block tag, or ``-1`` for an empty way.  Real tags
+  are non-negative, so the sentinel can never match and "valid" needs
+  no separate array on the hot path.
+- ``_meta`` — ``(owner_core << 1) | dirty``, the same packing the flat
+  dict kernel uses.
+- ``_stamp`` — last-touch clock value (the LRU order).
+- ``_fill`` (per set) — number of occupied ways.  Ways ``[0, fill)``
+  are occupied and ``[fill, assoc)`` empty; :meth:`invalidate_address`
+  compacts the hole to preserve the invariant (way positions carry no
+  observable meaning — recency lives in the stamps).
+
+The round width is bounded by the number of *distinct sets* the batch
+touches, so vectorisation pays off on wide caches (hundreds+ of sets)
+and loses to the flat dict kernel on narrow ones, where rounds are a
+few dozen lanes and per-round numpy dispatch dominates.  The backend
+selector keeps ``fast`` the default; ``fast-vec`` is opt-in.
+
+Scope: the basic set-associative LRU cache only.  The way-partitioned
+QoS cache's victim scan is priority-ordered over classes and per-set
+occupancy counters — sequential by design — so the ``fast-vec``
+backend delegates partitioned caches to
+:class:`~repro.cache.fastsim.FastWayPartitionedCache` (see
+:mod:`repro.cache.backend`).
+
+numpy is an optional dependency (the ``[vec]`` extra); importing this
+module without it is fine, constructing the cache is not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+try:  # pragma: no cover - exercised implicitly by both branches
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy-less environments
+    np = None  # type: ignore[assignment]
+
+from repro.cache.basic import (
+    HIT,
+    AccessResult,
+    BatchCounters,
+    CoreSpec,
+    WriteSpec,
+)
+from repro.cache.fastsim import _materialise_stats
+from repro.cache.geometry import CacheGeometry
+from repro.cache.stats import CacheStats
+
+HAS_NUMPY = np is not None
+
+
+def require_numpy() -> None:
+    """Raise a pointed error when numpy is unavailable."""
+    if np is None:
+        raise RuntimeError(
+            "the fast-vec backend requires numpy, which is not "
+            "installed; install the optional extra (pip install "
+            "'.[vec]') or select the 'fast' backend"
+        )
+
+
+class FastVecSetAssociativeCache:
+    """Vectorised twin of :class:`~repro.cache.fastsim.FastSetAssociativeCache`.
+
+    LRU only, like the fast backend; the backend selector falls back to
+    the reference implementation for ablation policies.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        *,
+        policy: str = "lru",
+        name: str = "cache",
+    ) -> None:
+        require_numpy()
+        if policy != "lru":
+            raise ValueError(
+                f"the fast-vec backend implements LRU only, got policy "
+                f"{policy!r}; use the reference backend for ablations"
+            )
+        self.geometry = geometry
+        self.name = name
+        self._assoc = geometry.associativity
+        self._offset_bits = geometry.offset_bits
+        self._index_bits = geometry.index_bits
+        self._index_mask = geometry.num_sets - 1
+        shape = (geometry.num_sets, geometry.associativity)
+        self._tags = np.full(shape, -1, dtype=np.int64)
+        self._meta = np.zeros(shape, dtype=np.int64)
+        self._stamp = np.zeros(shape, dtype=np.int64)
+        self._fill = np.zeros(geometry.num_sets, dtype=np.int64)
+        self._clock = 1
+        # accesses, hits, misses, evictions, writebacks, fills
+        self._totals = [0, 0, 0, 0, 0, 0]
+        self._per_core: Dict[int, List[int]] = {}
+
+    # -- stats -------------------------------------------------------------
+
+    @property
+    def stats(self) -> CacheStats:
+        """Counters as a :class:`CacheStats` (fresh snapshot per call)."""
+        return _materialise_stats(self._totals, self._per_core)
+
+    def _core_row(self, core_id: int) -> List[int]:
+        row = self._per_core.get(core_id)
+        if row is None:
+            if core_id < 0:
+                raise ValueError(
+                    f"the fast-vec backend requires core_id >= 0, "
+                    f"got {core_id}"
+                )
+            row = [0, 0, 0, 0, 0, 0]
+            self._per_core[core_id] = row
+        return row
+
+    # -- main interface ----------------------------------------------------
+
+    def access(
+        self, address: int, *, is_write: bool = False, core_id: int = 0
+    ) -> AccessResult:
+        """Present one access; fill on miss; return the outcome."""
+        block = address >> self._offset_bits
+        set_index = block & self._index_mask
+        tag = block >> self._index_bits
+        totals = self._totals
+        row = self._core_row(core_id)
+        totals[0] += 1
+        row[0] += 1
+        set_tags = self._tags[set_index]
+        match = set_tags == tag
+        way = int(match.argmax())
+        if match[way]:
+            # Hit: refresh recency, take ownership, accumulate dirtiness.
+            meta = int(self._meta[set_index, way])
+            self._meta[set_index, way] = (
+                (core_id << 1) | (meta & 1) | (1 if is_write else 0)
+            )
+            self._stamp[set_index, way] = self._clock
+            self._clock += 1
+            totals[1] += 1
+            row[1] += 1
+            return HIT
+
+        totals[2] += 1
+        row[2] += 1
+        fill = int(self._fill[set_index])
+        evicted_address: Optional[int] = None
+        writeback = False
+        victim_core: Optional[int] = None
+        if fill >= self._assoc:
+            way = int(self._stamp[set_index].argmin())
+            vmeta = int(self._meta[set_index, way])
+            victim_core = vmeta >> 1
+            writeback = (vmeta & 1) == 1
+            evicted_address = (
+                (int(set_tags[way]) << self._index_bits) | int(set_index)
+            ) << self._offset_bits
+            totals[3] += 1
+            vrow = self._core_row(victim_core)
+            vrow[3] += 1
+            row[4] += 1
+            if writeback:
+                totals[4] += 1
+                vrow[5] += 1
+        else:
+            way = fill
+            self._fill[set_index] = fill + 1
+        self._tags[set_index, way] = tag
+        self._meta[set_index, way] = (core_id << 1) | (1 if is_write else 0)
+        self._stamp[set_index, way] = self._clock
+        self._clock += 1
+        totals[5] += 1
+        return AccessResult(
+            hit=False,
+            evicted_address=evicted_address,
+            writeback=writeback,
+            victim_core=victim_core,
+        )
+
+    def access_block(
+        self,
+        addresses: Sequence[int],
+        is_write: WriteSpec = False,
+        core_ids: CoreSpec = 0,
+    ) -> BatchCounters:
+        """Batch :meth:`access` as lockstep-over-sets array rounds."""
+        addr = np.asarray(addresses, dtype=np.int64)
+        n = int(addr.shape[0])
+        writes = cores = None
+        if not isinstance(is_write, (bool, int)):
+            writes = np.asarray(is_write, dtype=np.int64)
+            n = min(n, int(writes.shape[0]))
+        if not isinstance(core_ids, int):
+            cores = np.asarray(core_ids, dtype=np.int64)
+            n = min(n, int(cores.shape[0]))
+        if n == 0:
+            return BatchCounters()
+        # zip semantics, like the scalar kernels: the shortest input
+        # bounds the batch.
+        addr = addr[:n]
+        if writes is None:
+            writes = np.full(n, 1 if is_write else 0, dtype=np.int64)
+        else:
+            writes = (writes[:n] != 0).astype(np.int64)
+        if cores is None:
+            cores = np.full(n, core_ids, dtype=np.int64)
+        else:
+            cores = cores[:n]
+        if int(cores.min()) < 0:
+            raise ValueError(
+                f"the fast-vec backend requires core_id >= 0, "
+                f"got {int(cores.min())}"
+            )
+
+        block = addr >> self._offset_bits
+        sidx = block & self._index_mask
+        btag = block >> self._index_bits
+
+        # Rank each access within its set's group: rank r accesses form
+        # round r, in which every set appears at most once.  ``sel``
+        # permutes the batch into round-major order, so each round is a
+        # contiguous slice (views, not copies) of the permuted inputs.
+        order = np.argsort(sidx, kind="stable")
+        ssort = sidx[order]
+        new_group = np.empty(n, dtype=bool)
+        new_group[0] = True
+        np.not_equal(ssort[1:], ssort[:-1], out=new_group[1:])
+        starts = np.flatnonzero(new_group)
+        group_len = np.diff(np.append(starts, n))
+        rank = np.arange(n) - np.repeat(starts, group_len)
+        sel = order[np.argsort(rank, kind="stable")]
+        offsets = np.concatenate(([0], np.cumsum(np.bincount(rank))))
+        set_sel = sidx[sel]
+        tag_sel = btag[sel]
+        core_sel = cores[sel]
+        write_sel = writes[sel]
+
+        # Per-access outcomes in round-major order; per-core counters
+        # fold from these once, after the loop (scatter-adds inside the
+        # round loop would dominate narrow rounds).
+        hit_sel = np.empty(n, dtype=bool)
+        victim_core_sel = np.full(n, -1, dtype=np.int64)
+        victim_dirty_sel = np.zeros(n, dtype=bool)
+        assoc = self._assoc
+        tags = self._tags
+        meta = self._meta
+        stamp = self._stamp
+        clock = self._clock
+
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            rs = set_sel[start:stop]
+            rt = tag_sel[start:stop]
+            match = tags[rs] == rt[:, None]
+            hit = match.any(axis=1)
+            hit_sel[start:stop] = hit
+            ways = match.argmax(axis=1)
+            if hit.any():
+                hs = rs[hit]
+                hw = ways[hit]
+                old = meta[hs, hw]
+                meta[hs, hw] = (
+                    (core_sel[start:stop][hit] << 1)
+                    | (old & 1)
+                    | write_sel[start:stop][hit]
+                )
+                stamp[hs, hw] = clock
+            miss = ~hit
+            if miss.any():
+                ms = rs[miss]
+                fill = self._fill[ms]
+                full = fill == assoc
+                way = fill
+                if full.any():
+                    fs = ms[full]
+                    victim_way = np.argmin(stamp[fs], axis=1)
+                    way[full] = victim_way
+                    vmeta = meta[fs, victim_way]
+                    full_pos = start + np.flatnonzero(miss)[full]
+                    victim_core_sel[full_pos] = vmeta >> 1
+                    victim_dirty_sel[full_pos] = (vmeta & 1).astype(bool)
+                    if not full.all():
+                        self._fill[ms[~full]] += 1
+                else:
+                    self._fill[ms] += 1
+                tags[ms, way] = rt[miss]
+                meta[ms, way] = (
+                    (core_sel[start:stop][miss] << 1)
+                    | write_sel[start:stop][miss]
+                )
+                stamp[ms, way] = clock
+            clock += 1
+
+        self._clock = clock
+        hits = int(hit_sel.sum())
+        misses = n - hits
+        evicted = victim_core_sel >= 0
+        written_back = evicted & victim_dirty_sel
+        evictions = int(evicted.sum())
+        writebacks = int(written_back.sum())
+        totals = self._totals
+        totals[0] += n
+        totals[1] += hits
+        totals[2] += misses
+        totals[3] += evictions
+        totals[4] += writebacks
+        totals[5] += misses  # every miss fills
+
+        num_rows = max(
+            int(cores.max()) + 1,
+            max(self._per_core, default=-1) + 1,
+        )
+        deltas = np.zeros((num_rows, 6), dtype=np.int64)
+        deltas[:, 0] = np.bincount(core_sel, minlength=num_rows)
+        deltas[:, 1] = np.bincount(core_sel[hit_sel], minlength=num_rows)
+        deltas[:, 2] = deltas[:, 0] - deltas[:, 1]
+        deltas[:, 3] = np.bincount(
+            victim_core_sel[evicted], minlength=num_rows
+        )
+        deltas[:, 4] = np.bincount(core_sel[evicted], minlength=num_rows)
+        deltas[:, 5] = np.bincount(
+            victim_core_sel[written_back], minlength=num_rows
+        )
+        for core in np.flatnonzero(deltas.any(axis=1)):
+            row = self._core_row(int(core))
+            for field in range(6):
+                row[field] += int(deltas[core, field])
+        return BatchCounters(
+            accesses=n,
+            hits=hits,
+            misses=misses,
+            evictions=evictions,
+            writebacks=writebacks,
+        )
+
+    # -- inspection and maintenance ----------------------------------------
+
+    def contains(self, address: int) -> bool:
+        """Return True if the block holding ``address`` is resident."""
+        block = address >> self._offset_bits
+        set_index = block & self._index_mask
+        tag = block >> self._index_bits
+        return bool((self._tags[set_index] == tag).any())
+
+    def occupancy(self) -> int:
+        """Number of valid blocks currently resident."""
+        return int(self._fill.sum())
+
+    def invalidate_address(self, address: int) -> bool:
+        """Invalidate the block holding ``address``; True if present.
+
+        Compacts the set (last occupied way moves into the hole) so the
+        prefix-filled invariant survives; way positions carry no
+        observable meaning — recency lives in the stamps.
+        """
+        block = address >> self._offset_bits
+        set_index = block & self._index_mask
+        tag = block >> self._index_bits
+        match = self._tags[set_index] == tag
+        way = int(match.argmax())
+        if not match[way]:
+            return False
+        last = int(self._fill[set_index]) - 1
+        if way != last:
+            self._tags[set_index, way] = self._tags[set_index, last]
+            self._meta[set_index, way] = self._meta[set_index, last]
+            self._stamp[set_index, way] = self._stamp[set_index, last]
+        self._tags[set_index, last] = -1
+        self._fill[set_index] = last
+        return True
+
+    def flush(self) -> int:
+        """Invalidate everything; return the number of dirty lines dropped."""
+        occupied = np.arange(self._assoc) < self._fill[:, None]
+        dirty = int((((self._meta & 1) != 0) & occupied).sum())
+        self._tags[:] = -1
+        self._fill[:] = 0
+        return dirty
+
+    def resident_blocks(self) -> List[int]:
+        """Return block-aligned addresses of all resident blocks (sorted)."""
+        sets, ways = np.nonzero(self._tags >= 0)
+        addresses = (
+            (self._tags[sets, ways] << self._index_bits) | sets
+        ) << self._offset_bits
+        return sorted(int(address) for address in addresses)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FastVecSetAssociativeCache({self.name}, {self.geometry})"

@@ -349,6 +349,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.verify_command == "diff":
         if args.fig:
             scenario = Scenario.for_figure(args.fig, seed=args.seed)
+            if args.pair_backend != scenario.fast_backend:
+                import dataclasses as _dataclasses
+
+                scenario = _dataclasses.replace(
+                    scenario, fast_backend=args.pair_backend
+                )
         else:
             scenario = Scenario(
                 workload=args.workload,
@@ -358,6 +364,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 count=args.count,
                 seed=args.seed,
                 jobs=args.pair_jobs,
+                fast_backend=args.pair_backend,
             )
         report = run_diff(
             scenario,
@@ -764,6 +771,10 @@ def build_parser() -> argparse.ArgumentParser:
     verify_diff.add_argument(
         "--pair-jobs", type=int, default=2, metavar="N",
         help="worker count for the parallel arm of the jobs pair",
+    )
+    verify_diff.add_argument(
+        "--pair-backend", default="fast", choices=["fast", "fast-vec"],
+        help="fast arm of the backend pair (fast-vec needs numpy)",
     )
 
     verify_laws = verify_commands.add_parser(

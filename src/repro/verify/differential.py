@@ -6,7 +6,8 @@ and scaled-down profiling/instruction knobs — is executed twice per
 arms, and every observable compared:
 
 - **backend** — miss curves profiled and the sweep run under the
-  ``reference`` cache backend versus the ``fast`` kernel.  Curves must
+  ``reference`` cache backend versus a fast kernel (``fast`` by
+  default, ``fast-vec`` via ``Scenario.fast_backend``).  Curves must
   match point-for-point and every downstream scalar byte-for-byte.
 - **jobs** — the same sweep with ``jobs=1`` versus ``jobs=N``
   multiprocessing.  Counter snapshots *and* the metrics/events/trace
@@ -84,8 +85,14 @@ class Scenario:
     profile_accesses: int = 40_000
     profile_warmup: int = 15_000
     record_trace: bool = True
+    fast_backend: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.fast_backend not in ("fast", "fast-vec"):
+            raise ValueError(
+                f"fast_backend must be 'fast' or 'fast-vec', "
+                f"got {self.fast_backend!r}"
+            )
         unknown = [
             name for name in self.configurations if name not in CONFIGURATIONS
         ]
@@ -361,13 +368,17 @@ def _without_series(lines: List[str], prefix: str) -> List[str]:
 def _backend_pair(
     scenario: Scenario, *, rel_tol: float, abs_tol: float
 ) -> PairReport:
-    report = PairReport(kind="backend", subject=scenario.describe())
+    fast_name = scenario.fast_backend
+    report = PairReport(
+        kind="backend",
+        subject=f"{scenario.describe()}, reference vs {fast_name}",
+    )
     with forced_backend("reference"):
         reference_curves = profile_scenario_curves(
             scenario, backend="reference"
         )
-    with forced_backend("fast"):
-        fast_curves = profile_scenario_curves(scenario, backend="fast")
+    with forced_backend(fast_name):
+        fast_curves = profile_scenario_curves(scenario, backend=fast_name)
 
     curve_violations: List[str] = []
     for name in scenario.benchmarks():
@@ -398,7 +409,7 @@ def _backend_pair(
 
     with forced_backend("reference"):
         arm_a = _run_sweep_arm(scenario, curves=reference_curves, jobs=1)
-    with forced_backend("fast"):
+    with forced_backend(fast_name):
         arm_b = _run_sweep_arm(scenario, curves=fast_curves, jobs=1)
     report.checks.append(
         CheckResult.from_violations(

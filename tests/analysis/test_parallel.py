@@ -4,7 +4,12 @@ import os
 
 import pytest
 
-from repro.analysis.parallel import parallel_map, point_seed, resolve_jobs
+from repro.analysis.parallel import (
+    parallel_map,
+    point_seed,
+    resolve_jobs,
+    visible_cpu_count,
+)
 from repro.analysis.runner import run_all_configurations
 from repro.analysis.sweeps import sweep_arrival_rate
 from repro.core.cluster import ClusterJobProfile
@@ -77,10 +82,16 @@ class TestResolveJobs:
         assert resolve_jobs(None) == 1
         assert resolve_jobs(1) == 1
 
-    def test_zero_and_negative_mean_all_cores(self):
-        cores = os.cpu_count() or 1
+    def test_zero_and_negative_mean_all_visible_cores(self):
+        # Affinity-visible count, not os.cpu_count(): in a cpuset-limited
+        # container the machine core count oversubscribes badly.
+        cores = visible_cpu_count()
         assert resolve_jobs(0) == cores
         assert resolve_jobs(-1) == cores
+
+    def test_visible_cpu_count_positive(self):
+        assert visible_cpu_count() >= 1
+        assert visible_cpu_count() <= (os.cpu_count() or 1)
 
     def test_explicit_count_passes_through(self):
         assert resolve_jobs(7) == 7
