@@ -17,54 +17,37 @@ small X than in the paper, because the synthetic knee at ~6 ways makes
 the first stolen way relatively expensive.
 """
 
-import statistics
-
-from repro.core.config import ModeMixConfig
-from repro.core.modes import ModeKind
-from repro.analysis.runner import run_configuration
+from repro.analysis.report import slack_table
+from repro.analysis.sweeps import sweep_elastic_slack
 from repro.util.tables import format_table
-from repro.workloads.composer import single_benchmark_workload
 
 SLACKS = (0.01, 0.02, 0.05, 0.10, 0.20)
 
 
 def sweep_slack(_):
-    rows = {}
-    for slack in SLACKS:
-        config = ModeMixConfig(
-            name=f"Hybrid-2(X={slack:.0%})",
-            strict_fraction=0.4,
-            elastic_fraction=0.3,
-            opportunistic_fraction=0.3,
-            elastic_slack=slack,
-        )
-        workload = single_benchmark_workload("bzip2", config)
-        result = run_configuration(workload, record_trace=False)
-        elastic = [
-            j
-            for j in result.jobs
-            if j.requested_mode.kind is ModeKind.ELASTIC
-        ]
-        opportunistic = [
-            j
-            for j in result.jobs
-            if j.requested_mode.kind is ModeKind.OPPORTUNISTIC
-        ]
-        rows[slack] = {
-            "elastic_wc": statistics.mean(
-                j.wall_clock_time for j in elastic
-            ),
-            "opp_wc": statistics.mean(
-                j.wall_clock_time for j in opportunistic
-            ),
-            "steals": result.steal_transfers,
-            "hit_rate": result.deadline_report.hit_rate,
+    points = sweep_elastic_slack("bzip2", SLACKS)
+    return {
+        point.slack: {
+            "elastic_wc": point.elastic_mean_wall_clock,
+            "opp_wc": point.opportunistic_mean_wall_clock,
+            "steals": point.steal_transfers,
+            "hit_rate": point.deadline_hit_rate,
+            "point": point,
         }
-    return rows
+        for point in points
+    }
 
 
 def test_fig8_stealing(benchmark):
     rows = benchmark.pedantic(sweep_slack, args=(None,), rounds=1, iterations=1)
+
+    print()
+    print(
+        slack_table(
+            [rows[slack]["point"] for slack in SLACKS],
+            title="Figure 8 — slack sweep (bzip2, Hybrid-2)",
+        )
+    )
 
     baseline_elastic = min(row["elastic_wc"] for row in rows.values())
     table = []

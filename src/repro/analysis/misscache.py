@@ -20,31 +20,30 @@ The key deliberately excludes the cache backend: reference and fast
 produce identical curves (pinned by the differential suite), so a curve
 profiled under either is valid for both.
 
-Entries are atomic single-JSON files named ``<digest>.json``; writes go
-through :func:`repro.util.atomicio.write_atomic_text` (fsync'd temp
-file + ``os.replace``) so concurrent workers never observe partial
-entries and a power cut never tears one.  An entry that is nonetheless
-unreadable (manual editing, bit rot, a store written by a pre-fsync
-build) is **quarantined** on read — renamed to ``<digest>.corrupt`` and
-counted — rather than silently deleted, so the evidence survives for
-inspection while the curve is transparently re-profiled.  The store is
+The storage mechanics — atomic fsync'd writes, quarantine-on-corrupt
+(``<digest>.corrupt``), hit/miss/store counters — live in the shared
+:class:`repro.analysis.store.ContentStore` base, which the sweep-level
+results store also builds on; this module supplies only the curve
+keying and the environment-variable configuration.  The store is
 enabled by default; disable with :func:`set_enabled` or the
 ``REPRO_MISS_CACHE`` environment variable (``0``/``off`` — the CLI's
-``--no-miss-cache``).  Hit/miss/store/quarantine counters are surfaced
-by :func:`stats` and rendered by ``analysis/report.py``.
+``--no-miss-cache``).  Counters are surfaced by :func:`stats` and
+rendered by ``analysis/report.py``.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import inspect
-import json
 import os
 from pathlib import Path
 from typing import Dict, Iterable, Optional
 
-from repro.util.atomicio import write_atomic_text
+from repro.analysis.store import (
+    QUARANTINE_SUFFIX,
+    ContentStore,
+    content_digest,
+    modules_fingerprint,
+)
 
 from repro.workloads.benchmarks import BenchmarkProfile
 from repro.workloads.profiler import (
@@ -53,19 +52,28 @@ from repro.workloads.profiler import (
     curve_to_dict,
 )
 
+__all__ = [
+    "QUARANTINE_SUFFIX",
+    "cache_dir",
+    "set_cache_dir",
+    "enabled",
+    "set_enabled",
+    "stats",
+    "reset_stats",
+    "code_fingerprint",
+    "curve_key",
+    "load_curve",
+    "store_curve",
+    "clear",
+    "entry_count",
+    "quarantine_count",
+]
+
 _ENV_DIR = "REPRO_MISS_CACHE_DIR"
 _ENV_ENABLED = "REPRO_MISS_CACHE"
 
 _cache_dir: Optional[Path] = None
 _enabled: Optional[bool] = None  # None = follow the environment
-_fingerprint: Optional[str] = None
-
-#: Process-wide counters: disk hits, disk misses, entries written,
-#: corrupt entries quarantined on read.
-_counters = {"hits": 0, "misses": 0, "stores": 0, "quarantined": 0}
-
-#: Suffix given to quarantined (unreadable) entries.
-QUARANTINE_SUFFIX = ".corrupt"
 
 
 # -- configuration -----------------------------------------------------------
@@ -120,18 +128,22 @@ def set_enabled(value: Optional[bool]) -> None:
         os.environ[_ENV_ENABLED] = "1" if value else "0"
 
 
+#: The shared-base store instance.  Directory and enablement are
+#: callables so the env-var/setter configuration above stays live.
+_STORE = ContentStore(cache_dir, enabled=enabled)
+
+
 # -- statistics --------------------------------------------------------------
 
 
 def stats() -> Dict[str, int]:
     """Copy of the process-wide hit/miss/store counters."""
-    return dict(_counters)
+    return _STORE.stats()
 
 
 def reset_stats() -> None:
     """Zero the counters (test isolation / per-report accounting)."""
-    for key in _counters:
-        _counters[key] = 0
+    _STORE.reset_stats()
 
 
 # -- keying ------------------------------------------------------------------
@@ -152,17 +164,7 @@ _FINGERPRINT_MODULES = (
 
 def code_fingerprint() -> str:
     """SHA-256 over the source of every curve-determining module."""
-    global _fingerprint
-    if _fingerprint is None:
-        import importlib
-
-        digest = hashlib.sha256()
-        for module_name in _FINGERPRINT_MODULES:
-            module = importlib.import_module(module_name)
-            digest.update(module_name.encode())
-            digest.update(inspect.getsource(module).encode())
-        _fingerprint = digest.hexdigest()
-    return _fingerprint
+    return modules_fingerprint(_FINGERPRINT_MODULES)
 
 
 def curve_key(
@@ -186,11 +188,15 @@ def curve_key(
         "seed": seed,
         "code": code_fingerprint(),
     }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode()).hexdigest()
+    return content_digest(payload)
 
 
 # -- load / store ------------------------------------------------------------
+
+
+def _decode_curve(payload: dict) -> MissRatioCurve:
+    """Schema step for :meth:`ContentStore.load`: entry dict → curve."""
+    return curve_from_dict(payload["curve"])
 
 
 def load_curve(
@@ -209,8 +215,6 @@ def load_curve(
     curve gets re-profiled and re-stored under the original name while
     the damaged bytes stay on disk for post-mortem inspection.
     """
-    if not enabled():
-        return None
     key = curve_key(
         profile,
         num_sets=num_sets,
@@ -218,36 +222,9 @@ def load_curve(
         accesses=accesses,
         seed=seed,
     )
-    path = cache_dir() / f"{key}.json"
-    try:
-        payload = json.loads(path.read_text())
-        curve = curve_from_dict(payload["curve"])
-    except FileNotFoundError:
-        _counters["misses"] += 1
-        return None
-    except (ValueError, KeyError, TypeError, OSError):
-        _counters["misses"] += 1
-        _quarantine(path)
-        return None
-    _counters["hits"] += 1
+    curve = _STORE.load(key, decode=_decode_curve)
+    assert curve is None or isinstance(curve, MissRatioCurve)
     return curve
-
-
-def _quarantine(path: Path) -> Optional[Path]:
-    """Move an unreadable entry aside; return its new path if moved.
-
-    The rename is atomic, so a concurrent reader of the same corrupt
-    entry either sees it (and re-quarantines onto the same name — the
-    replace is idempotent) or already finds it gone and takes the plain
-    miss path.
-    """
-    target = path.with_suffix(QUARANTINE_SUFFIX)
-    try:
-        os.replace(path, target)
-    except OSError:
-        return None
-    _counters["quarantined"] += 1
-    return target
 
 
 def store_curve(
@@ -277,7 +254,6 @@ def store_curve(
         accesses=accesses,
         seed=seed,
     )
-    path = cache_dir() / f"{key}.json"
     payload = {
         "benchmark": profile.name,
         "num_sets": num_sets,
@@ -286,40 +262,19 @@ def store_curve(
         "seed": seed,
         "curve": curve_to_dict(curve),
     }
-    try:
-        write_atomic_text(path, json.dumps(payload, sort_keys=True))
-    except OSError:
-        return None
-    _counters["stores"] += 1
-    return path
+    return _STORE.store(key, payload)
 
 
 def clear() -> int:
     """Delete every stored entry (quarantined included); return the count."""
-    directory = cache_dir()
-    removed = 0
-    if directory.is_dir():
-        for pattern in ("*.json", f"*{QUARANTINE_SUFFIX}"):
-            for entry in directory.glob(pattern):
-                try:
-                    entry.unlink()
-                    removed += 1
-                except OSError:
-                    pass
-    return removed
+    return _STORE.clear()
 
 
 def entry_count() -> int:
     """Number of readable entries currently on disk."""
-    directory = cache_dir()
-    if not directory.is_dir():
-        return 0
-    return sum(1 for _ in directory.glob("*.json"))
+    return _STORE.entry_count()
 
 
 def quarantine_count() -> int:
     """Number of quarantined (corrupt) entries currently on disk."""
-    directory = cache_dir()
-    if not directory.is_dir():
-        return 0
-    return sum(1 for _ in directory.glob(f"*{QUARANTINE_SUFFIX}"))
+    return _STORE.quarantine_count()

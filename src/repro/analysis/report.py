@@ -6,12 +6,16 @@ tables the benchmark harness prints — one per reproduced figure/table.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import math
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from repro.analysis.runner import normalised_throughputs
 from repro.analysis.sensitivity import SensitivityPoint
 from repro.sim.system import SystemResult
 from repro.util.tables import format_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sweeps import SlackPoint
 
 
 def deadline_table(results: Dict[str, SystemResult], *, title: str) -> str:
@@ -222,6 +226,40 @@ def sensitivity_table(
             "measured group",
             "CPI incr 7→1",
             "CPI incr 7→4",
+        ],
+        rows,
+        title=title,
+    )
+
+
+def slack_table(points: Sequence["SlackPoint"], *, title: str) -> str:
+    """Figure 8: the Elastic-slack sweep as a table.
+
+    A mode class that rounded to zero jobs has a NaN mean wall clock;
+    it renders as "-" rather than propagating a bogus number into the
+    row.
+    """
+
+    def cell(value: float) -> object:
+        return None if math.isnan(value) else value
+
+    rows = [
+        [
+            f"{point.slack:.0%}",
+            cell(point.elastic_mean_wall_clock),
+            cell(point.opportunistic_mean_wall_clock),
+            point.steal_transfers,
+            point.deadline_hit_rate,
+        ]
+        for point in points
+    ]
+    return format_table(
+        [
+            "slack X",
+            "elastic wall clock",
+            "opportunistic wall clock",
+            "steals",
+            "deadline hit",
         ],
         rows,
         title=title,

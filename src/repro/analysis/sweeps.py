@@ -40,9 +40,21 @@ class SlackPoint:
     deadline_hit_rate: float
 
 
+def _mean_or_nan(values: Sequence[float]) -> float:
+    """Mean, or NaN for an empty class.
+
+    A mode mix can deterministically round to zero Elastic or
+    Opportunistic jobs (small counts, skewed fractions); that is a
+    legitimate sweep point, not a crash.  NaN propagates cleanly to
+    JSON-free renderers (the Figure 8 table shows "-") and poisons any
+    arithmetic that would silently misuse it.
+    """
+    return statistics.mean(values) if values else float("nan")
+
+
 def _slack_worker(slack: float) -> SlackPoint:
     """Simulate one Figure 8 slack point (module-level for pickling)."""
-    benchmark, curves, sim_config = current_shared()
+    benchmark, curves, sim_config, count = current_shared()
     config = ModeMixConfig(
         name=f"Hybrid-2(X={slack:.0%})",
         strict_fraction=0.4,
@@ -50,7 +62,7 @@ def _slack_worker(slack: float) -> SlackPoint:
         opportunistic_fraction=0.3,
         elastic_slack=slack,
     )
-    workload = single_benchmark_workload(benchmark, config)
+    workload = single_benchmark_workload(benchmark, config, count=count)
     result = run_configuration(
         workload,
         sim_config=sim_config,
@@ -69,8 +81,8 @@ def _slack_worker(slack: float) -> SlackPoint:
     ]
     return SlackPoint(
         slack=slack,
-        elastic_mean_wall_clock=statistics.mean(elastic),
-        opportunistic_mean_wall_clock=statistics.mean(opportunistic),
+        elastic_mean_wall_clock=_mean_or_nan(elastic),
+        opportunistic_mean_wall_clock=_mean_or_nan(opportunistic),
         steal_transfers=result.steal_transfers,
         deadline_hit_rate=result.deadline_report.hit_rate,
     )
@@ -82,10 +94,13 @@ def sweep_elastic_slack(
     *,
     curves: Optional[Dict[str, MissRatioCurve]] = None,
     sim_config: Optional[SimulationConfig] = None,
+    count: int = 10,
     jobs: Optional[int] = 1,
 ) -> List[SlackPoint]:
     """Run Hybrid-2 with each slack X; collect the Figure 8 series.
 
+    ``count`` sizes the workload; small counts can round a mode class
+    to zero jobs, in which case that class's mean wall clock is NaN.
     ``jobs`` distributes the slack points across processes; every
     point's inputs are fixed by the call, so the series is identical
     to a serial run.
@@ -94,7 +109,7 @@ def sweep_elastic_slack(
         _slack_worker,
         list(slacks),
         jobs=jobs,
-        shared=(benchmark, curves, sim_config),
+        shared=(benchmark, curves, sim_config, count),
     )
 
 

@@ -333,6 +333,116 @@ def _cmd_obs(args: argparse.Namespace) -> int:
     raise AssertionError(f"unknown obs command {args.obs_command!r}")
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Orchestrate scenario sweeps over the content-addressed store."""
+    from repro.analysis.sweep import (
+        diff_reports,
+        load_report,
+        load_sweep_file,
+        run_sweep,
+        sweep_status,
+    )
+
+    if args.sweep_command == "run":
+        try:
+            spec = load_sweep_file(args.spec)
+        except (OSError, ValueError) as error:
+            print(f"sweep: {error}", file=sys.stderr)
+            return 2
+        outcome = run_sweep(
+            spec, store_dir=args.store_dir, jobs=args.jobs
+        )
+        rows = [
+            [
+                point["label"],
+                point["figures_of_merit"]["deadline_hit_rate"],
+                point["figures_of_merit"]["makespan_cycles"] / 1e6,
+                int(point["figures_of_merit"]["steal_transfers"]),
+                int(point["figures_of_merit"]["rejections"]),
+            ]
+            for point in outcome.report["points"]
+        ]
+        print(
+            format_table(
+                [
+                    "point",
+                    "deadline hit",
+                    "makespan (Mcyc)",
+                    "steals",
+                    "rejections",
+                ],
+                rows,
+                title=f"sweep {spec.name} — {len(spec.points)} point(s)",
+            )
+        )
+        print(
+            f"results store: {outcome.served_from_store} point(s) served "
+            f"from store, {outcome.executed} executed "
+            f"({outcome.store_dir})"
+        )
+        print(f"report written to {outcome.report_path}")
+        for line in miss_cache_lines():
+            print(line)
+        if args.baseline:
+            try:
+                baseline = load_report(
+                    args.baseline, store_dir=args.store_dir
+                )
+            except (OSError, ValueError) as error:
+                print(f"sweep: {error}", file=sys.stderr)
+                return 2
+            report = diff_reports(
+                baseline,
+                outcome.report,
+                rel_tol=args.rel_tol,
+                abs_tol=args.abs_tol,
+            )
+            print(f"baseline: {args.baseline}")
+            for line in report.lines():
+                print(line)
+            return 0 if report.clean else 1
+        return 0
+
+    if args.sweep_command == "status":
+        try:
+            spec = load_sweep_file(args.spec)
+        except (OSError, ValueError) as error:
+            print(f"sweep: {error}", file=sys.stderr)
+            return 2
+        status = sweep_status(spec, store_dir=args.store_dir)
+        print(
+            f"sweep {spec.name}: {len(status.done)}/"
+            f"{len(spec.points)} point(s) in store, "
+            f"{len(status.missing)} missing"
+        )
+        for label in status.missing:
+            print(f"  missing: {label}")
+        return 0
+
+    if args.sweep_command == "diff":
+        try:
+            baseline = load_report(
+                args.baseline, store_dir=args.store_dir
+            )
+            current = load_report(
+                args.current, store_dir=args.store_dir
+            )
+        except (OSError, ValueError) as error:
+            print(f"sweep: {error}", file=sys.stderr)
+            return 2
+        report = diff_reports(
+            baseline,
+            current,
+            rel_tol=args.rel_tol,
+            abs_tol=args.abs_tol,
+        )
+        for line in report.lines():
+            print(line)
+        return 0 if report.clean else 1
+
+    raise AssertionError(f"unknown sweep command {args.sweep_command!r}")
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Differential / metamorphic / fuzz verification (repro.verify)."""
     import json as _json
@@ -717,6 +827,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="absolute tolerance per series (default: exact)",
     )
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="resumable scenario sweeps over the results store",
+    )
+    sweep_commands = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    sweep_store = argparse.ArgumentParser(add_help=False)
+    sweep_store.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="results store directory (default: "
+        "$REPRO_RESULT_STORE_DIR or ~/.cache/repro-qos/results)",
+    )
+    sweep_tol = argparse.ArgumentParser(add_help=False)
+    sweep_tol.add_argument(
+        "--rel-tol", type=float, default=0.0,
+        help="relative tolerance per figure of merit (default: exact)",
+    )
+    sweep_tol.add_argument(
+        "--abs-tol", type=float, default=0.0,
+        help="absolute tolerance per figure of merit (default: exact)",
+    )
+
+    sweep_run = sweep_commands.add_parser(
+        "run",
+        help="run a sweep file; stored points are skipped (resume = rerun)",
+        parents=[perf, sweep_store, sweep_tol],
+    )
+    sweep_run.add_argument("spec", help="versioned JSON sweep file")
+    sweep_run.add_argument(
+        "--baseline", default=None, metavar="SWEEP",
+        help="after the run, regression-diff against this sweep "
+        "(a report path or a sweep name in the store); dirty diff "
+        "exits 1",
+    )
+
+    sweep_status_cmd = sweep_commands.add_parser(
+        "status",
+        help="which points of a sweep file are already in the store",
+        parents=[sweep_store],
+    )
+    sweep_status_cmd.add_argument("spec", help="versioned JSON sweep file")
+
+    sweep_diff = sweep_commands.add_parser(
+        "diff",
+        help="regression-compare two sweep reports",
+        parents=[sweep_store, sweep_tol],
+    )
+    sweep_diff.add_argument(
+        "baseline", help="baseline sweep (report path or name in store)"
+    )
+    sweep_diff.add_argument(
+        "current", help="current sweep (report path or name in store)"
+    )
+
     verify = commands.add_parser(
         "verify",
         help="differential, metamorphic, and fuzz verification",
@@ -934,6 +1098,7 @@ HANDLERS = {
     "cluster": _cmd_cluster,
     "profile": _cmd_profile,
     "obs": _cmd_obs,
+    "sweep": _cmd_sweep,
     "verify": _cmd_verify,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,

@@ -11,7 +11,9 @@ metrics snapshots:
   already covers),
 - summaries compare by count and mean,
 - series present on only one side are reported as added/removed —
-  an instrumentation-coverage change is a regression signal too.
+  an instrumentation-coverage change is a regression signal too —
+  and so are compared *fields* present on only one side of a shared
+  series (e.g. a summary that lost its ``mean``).
 
 A delta is **within tolerance** when ``|b - a| <= max(abs_tol,
 rel_tol * max(|a|, |b|))`` — the symmetric form, so diffing A against
@@ -92,10 +94,14 @@ def _comparable_values(record: dict) -> Dict[str, float]:
     if kind == "histogram":
         return {".count": float(record["count"])}
     if kind == "summary":
-        return {
-            ".count": float(record["count"]),
-            ".mean": float(record["mean"]),
-        }
+        values = {".count": float(record["count"])}
+        # A summary can legitimately lack its ``mean`` (an exporter
+        # that dropped the field); the shared-series loop reports the
+        # asymmetry as an added/removed field rather than crashing —
+        # or, worse, silently passing — here.
+        if "mean" in record:
+            values[".mean"] = float(record["mean"])
+        return values
     raise ValueError(f"unknown snapshot record type {kind!r}")
 
 
@@ -152,12 +158,31 @@ def diff_snapshots(
     for key in shared:
         base_values = _comparable_values(base_index[key])
         current_values = _comparable_values(current_index[key])
-        for suffix in sorted(base_values):
-            a = base_values[suffix]
+        # Union of field suffixes: a field present on only one side is
+        # a coverage regression (REMOVED/ADDED), never a silent pass —
+        # e.g. a summary whose ``mean`` vanished from the current run.
+        for suffix in sorted(base_values.keys() | current_values.keys()):
+            a = base_values.get(suffix)
             b = current_values.get(suffix)
-            if b is None:
-                continue
-            if not _within(a, b, rel_tol=rel_tol, abs_tol=abs_tol):
+            if a is None:
+                deltas.append(
+                    SeriesDelta(
+                        kind=ADDED,
+                        series=base_index[key]["name"] + suffix,
+                        baseline=None,
+                        current=b,
+                    )
+                )
+            elif b is None:
+                deltas.append(
+                    SeriesDelta(
+                        kind=REMOVED,
+                        series=base_index[key]["name"] + suffix,
+                        baseline=a,
+                        current=None,
+                    )
+                )
+            elif not _within(a, b, rel_tol=rel_tol, abs_tol=abs_tol):
                 deltas.append(
                     SeriesDelta(
                         kind=CHANGED,

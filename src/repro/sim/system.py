@@ -256,6 +256,131 @@ class SystemResult:
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
+    def to_artifact(
+        self, *, metrics: Optional[List[dict]] = None
+    ) -> "ResultArtifact":
+        """Distil this result into a persistable, diffable artifact.
+
+        ``metrics`` attaches an observability metrics snapshot
+        (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) captured
+        over the run.  Everything in the artifact derives from the
+        simulation trajectory alone, so two equivalent runs serialise
+        byte-identically.
+        """
+        hit_rate = self.deadline_report.hit_rate
+        return ResultArtifact(
+            version=ARTIFACT_VERSION,
+            workload=self.workload_name,
+            configuration=self.configuration_name,
+            counters=self.counter_snapshot(),
+            figures_of_merit={
+                "deadline_hit_rate": float(hit_rate),
+                "makespan_cycles": float(self.makespan_cycles),
+                "makespan_seconds": float(self.makespan_seconds),
+                "rejections": float(self.rejections),
+                "steal_transfers": float(self.steal_transfers),
+                "throughput_makespan": float(self.throughput.makespan),
+            },
+            slo=None
+            if self.slo is None
+            else [dataclasses.asdict(job) for job in self.slo.jobs],
+            metrics=metrics,
+        )
+
+
+#: Schema version of :class:`ResultArtifact`; bumping it orphans every
+#: stored artifact (the version participates in the scenario digest).
+ARTIFACT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResultArtifact:
+    """The on-disk form of one :class:`SystemResult`.
+
+    What the results store (:class:`repro.analysis.store.ResultStore`)
+    persists per sweep point: the full counter snapshot (the
+    differential-harness comparison surface), the SLO report, the key
+    figures of merit the sweep reports and diffs on, and optionally an
+    observability metrics snapshot.  Plain-JSON round-trippable:
+    ``from_dict(artifact.to_dict())`` reconstructs an equal artifact,
+    and :meth:`counter_fingerprint` of the reconstruction matches the
+    original result's :meth:`SystemResult.fingerprint`.
+    """
+
+    version: int
+    workload: str
+    configuration: str
+    counters: Dict[str, object]
+    figures_of_merit: Dict[str, float]
+    slo: Optional[List[Dict[str, object]]]
+    metrics: Optional[List[dict]]
+
+    def to_dict(self) -> dict:
+        """Plain-data form (stable key order is the caller's concern)."""
+        return {
+            "version": self.version,
+            "workload": self.workload,
+            "configuration": self.configuration,
+            "counters": dict(self.counters),
+            "figures_of_merit": dict(self.figures_of_merit),
+            "slo": None if self.slo is None else [dict(j) for j in self.slo],
+            "metrics": self.metrics,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ResultArtifact":
+        """Rebuild an artifact; raises on any schema mismatch.
+
+        ``ValueError``/``KeyError``/``TypeError`` here make the results
+        store quarantine the entry, exactly like unparseable JSON.
+        """
+        version = payload["version"]
+        if version != ARTIFACT_VERSION:
+            raise ValueError(
+                f"artifact version {version!r} != {ARTIFACT_VERSION}"
+            )
+        slo = payload["slo"]
+        return cls(
+            version=int(version),
+            workload=str(payload["workload"]),
+            configuration=str(payload["configuration"]),
+            counters=dict(payload["counters"]),
+            figures_of_merit={
+                str(key): float(value)
+                for key, value in payload["figures_of_merit"].items()
+            },
+            slo=None if slo is None else [dict(job) for job in slo],
+            metrics=payload["metrics"],
+        )
+
+    def counter_fingerprint(self) -> str:
+        """SHA-256 of the counter snapshot — :meth:`SystemResult.fingerprint`.
+
+        Computed over the *stored* counters, so it doubles as an
+        integrity check: an artifact that round-tripped losslessly
+        hashes identically to the live result it came from.
+        """
+        import hashlib
+        import json
+
+        payload = json.dumps(
+            self.counters,
+            sort_keys=True,
+            separators=(",", ":"),
+            allow_nan=False,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def slo_report(self) -> Optional[SloReport]:
+        """Reconstruct the :class:`~repro.obs.slo.SloReport`, if any."""
+        from repro.obs.slo import JobSloSummary
+
+        if self.slo is None:
+            return None
+        return SloReport(
+            jobs=tuple(JobSloSummary(**job) for job in self.slo)
+        )
+
 
 class QoSSystemSimulator:
     """Simulate one workload under one Table 2 QoS configuration.

@@ -15,6 +15,9 @@ process-wide because every experiment reuses the same fifteen curves.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
@@ -200,6 +203,22 @@ def profile_benchmark(
 _CURVE_CACHE: Dict[Tuple[str, int, int, int, int], MissRatioCurve] = {}
 
 
+def profile_digest(profile: BenchmarkProfile) -> str:
+    """Content digest of a full benchmark profile.
+
+    The in-process curve cache keys on this rather than on
+    ``profile.name``: two distinct profiles sharing a name (e.g.
+    fuzzer-mutated variants from ``repro verify fuzz``) must not serve
+    each other's curves.  The on-disk store has always keyed on the
+    full ``dataclasses.asdict(profile)``; this digest matches that
+    granularity.
+    """
+    payload = json.dumps(
+        dataclasses.asdict(profile), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
 def get_curve(
     profile: BenchmarkProfile,
     *,
@@ -218,7 +237,7 @@ def get_curve(
     differential test suite), so a curve profiled under one backend is
     valid under the other.
     """
-    key = (profile.name, num_sets, block_bytes, accesses, seed)
+    key = (profile_digest(profile), num_sets, block_bytes, accesses, seed)
     if key not in _CURVE_CACHE:
         # Imported lazily: misscache keys on this module's source, so a
         # top-level import would be circular.

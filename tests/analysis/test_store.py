@@ -1,0 +1,235 @@
+"""The shared content-addressed store base and the results store."""
+
+import json
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.analysis.store import (
+    QUARANTINE_SUFFIX,
+    ContentStore,
+    ResultStore,
+    canonical_json,
+    content_digest,
+    default_result_dir,
+    modules_fingerprint,
+)
+from repro.analysis.runner import run_configuration
+from repro.core.config import ALL_STRICT
+from repro.obs import Observer, observed
+from repro.sim.config import SimulationConfig
+from repro.sim.system import ARTIFACT_VERSION, ResultArtifact
+from repro.workloads.composer import single_benchmark_workload
+from tests.sim.conftest import linear_curve
+
+KEY = "a" * 64
+PAYLOAD = {"value": 7, "nested": {"x": [1, 2, 3]}}
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ContentStore(tmp_path)
+
+
+class TestDigesting:
+    def test_canonical_json_is_order_insensitive(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_content_digest_stable_and_sensitive(self):
+        assert content_digest(PAYLOAD) == content_digest(dict(PAYLOAD))
+        assert content_digest(PAYLOAD) != content_digest(
+            {**PAYLOAD, "value": 8}
+        )
+
+    def test_modules_fingerprint_memoises_and_differs(self):
+        a = modules_fingerprint(("repro.util.rng",))
+        assert a == modules_fingerprint(("repro.util.rng",))
+        assert a != modules_fingerprint(("repro.util.tables",))
+
+
+class TestRoundTrip:
+    def test_store_then_load(self, store):
+        path = store.store(KEY, PAYLOAD)
+        assert path is not None and path.is_file()
+        assert store.load(KEY) == PAYLOAD
+        assert store.stats() == {
+            "hits": 1,
+            "misses": 0,
+            "stores": 1,
+            "quarantined": 0,
+        }
+
+    def test_missing_entry_is_a_miss(self, store):
+        assert store.load(KEY) is None
+        assert store.stats()["misses"] == 1
+
+    def test_decode_applies(self, store):
+        store.store(KEY, PAYLOAD)
+        assert store.load(KEY, decode=lambda p: p["value"]) == 7
+
+    def test_contains_probes_without_counters(self, store):
+        assert not store.contains(KEY)
+        store.store(KEY, PAYLOAD)
+        assert store.contains(KEY)
+        assert store.stats()["hits"] == 0
+        assert store.stats()["misses"] == 0
+
+    def test_entry_count_and_clear(self, store):
+        store.store(KEY, PAYLOAD)
+        store.store("b" * 64, PAYLOAD)
+        assert store.entry_count() == 2
+        assert store.clear() == 2
+        assert store.entry_count() == 0
+
+
+class TestDisabledAndUnwritable:
+    def test_disabled_store_is_inert(self, tmp_path):
+        store = ContentStore(tmp_path, enabled=False)
+        assert store.store(KEY, PAYLOAD) is None
+        assert store.load(KEY) is None
+        assert store.stats() == {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "quarantined": 0,
+        }
+        assert not any(tmp_path.iterdir())
+
+    def test_callable_providers_are_live(self, tmp_path):
+        state = {"enabled": False, "dir": tmp_path / "a"}
+        store = ContentStore(
+            lambda: state["dir"], enabled=lambda: state["enabled"]
+        )
+        assert store.store(KEY, PAYLOAD) is None
+        state["enabled"] = True
+        assert store.store(KEY, PAYLOAD) is not None
+        state["dir"] = tmp_path / "b"
+        assert store.load(KEY) is None  # different directory now
+        assert store.directory() == tmp_path / "b"
+
+    def test_unwritable_directory_degrades_to_none(self, tmp_path):
+        blocker = tmp_path / "occupied"
+        blocker.write_text("not a directory")
+        store = ContentStore(blocker / "sub")
+        assert store.store(KEY, PAYLOAD) is None
+        assert store.stats()["stores"] == 0
+
+
+class TestQuarantine:
+    def test_corrupt_json_quarantined(self, store, tmp_path):
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{ torn")
+        assert store.load(KEY) is None
+        assert not path.exists()
+        assert (tmp_path / f"{KEY}{QUARANTINE_SUFFIX}").exists()
+        assert store.stats()["misses"] == 1
+        assert store.stats()["quarantined"] == 1
+        assert store.quarantine_count() == 1
+
+    def test_decode_schema_error_quarantined(self, store):
+        store.store(KEY, {"wrong": "shape"})
+        assert store.load(KEY, decode=lambda p: p["curve"]) is None
+        assert store.quarantine_count() == 1
+        assert store.entry_count() == 0
+
+    def test_clear_removes_quarantined_entries(self, store):
+        store.path_for(KEY).parent.mkdir(parents=True, exist_ok=True)
+        store.path_for(KEY).write_text("junk")
+        store.load(KEY)
+        assert store.clear() == 1
+        assert store.quarantine_count() == 0
+
+
+class TestConcurrentWriters:
+    def test_many_writers_one_key(self, store, tmp_path):
+        def write(i):
+            return store.store(KEY, PAYLOAD)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            paths = list(pool.map(write, range(32)))
+        assert all(p is not None for p in paths)
+        assert store.entry_count() == 1
+        assert store.load(KEY) == PAYLOAD
+        # No temp-file residue from any writer.
+        assert not list(tmp_path.glob(".tmp-*"))
+
+    def test_readers_racing_writers_see_full_entries_or_none(self, store):
+        def work(i):
+            if i % 2:
+                store.store(KEY, PAYLOAD)
+                return PAYLOAD
+            return store.load(KEY)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(work, range(64)))
+        assert all(r in (None, PAYLOAD) for r in results)
+
+
+class TestResultStore:
+    @pytest.fixture(scope="class")
+    def artifact(self):
+        curves = {
+            "bzip2": linear_curve("bzip2", 0.0275, high=0.60, low=0.18)
+        }
+        workload = single_benchmark_workload("bzip2", ALL_STRICT)
+        with observed(Observer()) as observer:
+            result = run_configuration(
+                workload,
+                sim_config=SimulationConfig(),
+                curves=curves,
+                record_trace=False,
+            )
+            metrics = observer.metrics.snapshot()
+        return result, result.to_artifact(metrics=metrics)
+
+    def test_default_directory_honours_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_STORE_DIR", str(tmp_path))
+        assert default_result_dir() == tmp_path
+        assert ResultStore().directory() == tmp_path
+
+    def test_artifact_round_trip_preserves_fingerprint(
+        self, artifact, tmp_path
+    ):
+        result, art = artifact
+        store = ResultStore(tmp_path)
+        store.store_artifact(KEY, art)
+        loaded = store.load_artifact(KEY)
+        assert loaded == art
+        assert loaded.counter_fingerprint() == result.fingerprint()
+
+    def test_round_trip_through_real_json_bytes(self, artifact):
+        _, art = artifact
+        rebuilt = ResultArtifact.from_dict(
+            json.loads(json.dumps(art.to_dict()))
+        )
+        assert rebuilt == art
+
+    def test_slo_report_reconstructs(self, artifact):
+        result, art = artifact
+        assert result.slo is not None  # ran under an observer
+        report = art.slo_report()
+        assert report is not None
+        assert report.total_violations == result.slo.total_violations
+        assert [j.job_id for j in report.jobs] == [
+            j.job_id for j in result.slo.jobs
+        ]
+
+    def test_version_mismatch_quarantines(self, artifact, tmp_path):
+        _, art = artifact
+        store = ResultStore(tmp_path)
+        payload = art.to_dict()
+        payload["version"] = ARTIFACT_VERSION + 1
+        store.store(KEY, payload)
+        assert store.load_artifact(KEY) is None
+        assert store.quarantine_count() == 1
+
+    def test_figures_of_merit_are_floats(self, artifact):
+        _, art = artifact
+        assert art.figures_of_merit
+        assert all(
+            isinstance(value, float)
+            for value in art.figures_of_merit.values()
+        )

@@ -47,6 +47,30 @@ class TestSlackSweep:
     def test_stealing_active(self, points):
         assert all(p.steal_transfers > 0 for p in points)
 
+    def test_degenerate_mix_yields_nan_not_crash(self):
+        """Regression: with ``count=2`` the Hybrid-2 mode mix rounds
+        Opportunistic to zero jobs, and ``statistics.mean([])`` used to
+        raise StatisticsError out of the worker.  Empty classes now
+        report NaN."""
+        import math
+
+        from repro.analysis.report import slack_table
+
+        (point,) = sweep_elastic_slack(
+            "bzip2",
+            (0.05,),
+            curves=dict(CURVES),
+            sim_config=SimulationConfig(),
+            count=2,
+        )
+        assert math.isnan(point.opportunistic_mean_wall_clock)
+        assert math.isfinite(point.elastic_mean_wall_clock)
+        # The Figure 8 table renders the empty class as "-".
+        table = slack_table([point], title="degenerate")
+        row = table.splitlines()[-1]
+        assert "-" in row
+        assert "nan" not in table.lower()
+
 
 class TestCacheSizeSweep:
     @pytest.fixture(scope="class")

@@ -63,6 +63,39 @@ class TestExactComparison:
         assert delta.series == "h.count"
 
 
+class TestFieldAsymmetry:
+    """Regression: a compared field present on only one side of a
+    shared series (a summary that lost its ``mean``) used to be
+    skipped silently; it is now an added/removed delta."""
+
+    def meanless(self, name, count):
+        return {"type": "summary", "name": name, "count": count}
+
+    def test_field_gone_from_current_is_removed(self):
+        report = diff_snapshots(
+            [summary("lat", 5, 2.0)], [self.meanless("lat", 5)]
+        )
+        (delta,) = report.deltas
+        assert delta.kind == "removed"
+        assert delta.series == "lat.mean"
+        assert (delta.baseline, delta.current) == (2.0, None)
+
+    def test_field_new_in_current_is_added(self):
+        report = diff_snapshots(
+            [self.meanless("lat", 5)], [summary("lat", 5, 2.0)]
+        )
+        (delta,) = report.deltas
+        assert delta.kind == "added"
+        assert delta.series == "lat.mean"
+
+    def test_meanless_on_both_sides_is_clean(self):
+        report = diff_snapshots(
+            [self.meanless("lat", 5)], [self.meanless("lat", 5)]
+        )
+        assert report.clean
+        assert report.series_compared == 1
+
+
 class TestTolerances:
     def test_rel_tol_absorbs_small_drift(self):
         base, current = [gauge("g", 100.0)], [gauge("g", 104.0)]

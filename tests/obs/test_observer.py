@@ -107,11 +107,18 @@ class TestEndToEndDeterminism:
     def test_seeded_simulation_emits_identical_streams(self):
         """Two identically-seeded runs must produce byte-identical
         metrics and event exports — the artefact contract."""
+        from repro.analysis import misscache
         from repro.core.config import CONFIGURATIONS
         from repro.sim.system import QoSSystemSimulator
         from repro.workloads.composer import single_benchmark_workload
+        from repro.workloads.profiler import clear_curve_cache
 
         def run_once():
+            # Both runs profile their curves from scratch (no process
+            # memo, no disk cache), so the streams — including the
+            # curve-build counters — compare regardless of what earlier
+            # tests left cached.
+            clear_curve_cache()
             workload = single_benchmark_workload(
                 "bzip2", CONFIGURATIONS["All-Strict"]
             )
@@ -122,8 +129,13 @@ class TestEndToEndDeterminism:
                 "\n".join(obs.events.to_jsonl_lines()),
             )
 
-        first_metrics, first_events = run_once()
-        second_metrics, second_events = run_once()
+        misscache.set_enabled(False)
+        try:
+            first_metrics, first_events = run_once()
+            second_metrics, second_events = run_once()
+        finally:
+            misscache.set_enabled(None)
+            clear_curve_cache()
         assert first_metrics == second_metrics
         assert first_events == second_events
         assert first_events  # non-trivial stream

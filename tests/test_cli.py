@@ -116,25 +116,37 @@ class TestObservabilityFlags:
     def test_event_stream_is_byte_identical_across_runs(self, tmp_path):
         """The CI determinism contract, in-process: same seeded command,
         twice, byte-identical JSONL artifacts."""
+        from repro.analysis import misscache
+        from repro.workloads.profiler import clear_curve_cache
+
         paths = []
-        for tag in ("a", "b"):
-            metrics = tmp_path / f"metrics-{tag}.jsonl"
-            events = tmp_path / f"events-{tag}.jsonl"
-            assert (
-                main(
-                    [
-                        "faults",
-                        "--max-events",
-                        "2000",
-                        "--metrics-out",
-                        str(metrics),
-                        "--events-out",
-                        str(events),
-                    ]
+        # Both runs profile their curves from scratch (no process memo,
+        # no disk cache), so the artifacts — including curve-build
+        # counters — compare regardless of what earlier tests cached.
+        misscache.set_enabled(False)
+        try:
+            for tag in ("a", "b"):
+                clear_curve_cache()
+                metrics = tmp_path / f"metrics-{tag}.jsonl"
+                events = tmp_path / f"events-{tag}.jsonl"
+                assert (
+                    main(
+                        [
+                            "faults",
+                            "--max-events",
+                            "2000",
+                            "--metrics-out",
+                            str(metrics),
+                            "--events-out",
+                            str(events),
+                        ]
+                    )
+                    == 0
                 )
-                == 0
-            )
-            paths.append((metrics, events))
+                paths.append((metrics, events))
+        finally:
+            misscache.set_enabled(None)
+            clear_curve_cache()
         (metrics_a, events_a), (metrics_b, events_b) = paths
         assert metrics_a.read_bytes() == metrics_b.read_bytes()
         assert events_a.read_bytes() == events_b.read_bytes()
@@ -308,6 +320,87 @@ class TestProfileCommand:
 
     def test_profile_rejects_unknown(self, tmp_path, capsys):
         assert main(["profile", "nginx", "--out", str(tmp_path / "x")]) == 2
+
+
+class TestSweepCommand:
+    def test_run_parses_with_store_and_tolerances(self):
+        args = build_parser().parse_args(
+            [
+                "sweep", "run", "s.json", "--store-dir", "/tmp/store",
+                "--baseline", "old", "--rel-tol", "0.02", "--jobs", "2",
+            ]
+        )
+        assert args.command == "sweep"
+        assert args.sweep_command == "run"
+        assert args.spec == "s.json"
+        assert args.store_dir == "/tmp/store"
+        assert args.baseline == "old"
+        assert args.rel_tol == 0.02
+        assert args.jobs == 2
+
+    def test_status_and_diff_parse(self):
+        args = build_parser().parse_args(["sweep", "status", "s.json"])
+        assert args.sweep_command == "status"
+        args = build_parser().parse_args(
+            ["sweep", "diff", "a.json", "b", "--abs-tol", "1e-9"]
+        )
+        assert args.sweep_command == "diff"
+        assert (args.baseline, args.current) == ("a.json", "b")
+        assert args.abs_tol == 1e-9
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
+
+    def test_run_executes_and_diffs(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv(
+            "REPRO_MISS_CACHE_DIR", str(tmp_path / "curves")
+        )
+        spec = tmp_path / "s.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "name": "cli",
+                    "defaults": {
+                        "instructions_per_job": 2_000_000,
+                        "profile_num_sets": 8,
+                        "profile_accesses": 2_000,
+                    },
+                    "points": [
+                        {
+                            "workload": "bzip2",
+                            "configuration": "All-Strict",
+                        }
+                    ],
+                }
+            )
+        )
+        store = tmp_path / "store"
+        base = ["sweep", "run", str(spec), "--store-dir", str(store)]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "0 point(s) served from store, 1 executed" in out
+        # Warm + self-baseline: everything from the store, diff clean.
+        assert main(base + ["--baseline", "cli"]) == 0
+        out = capsys.readouterr().out
+        assert "1 point(s) served from store, 0 executed" in out
+        assert "no regressions" in out
+        assert main(["sweep", "status", str(spec), "--store-dir", str(store)]) == 0
+        assert "1/1" in capsys.readouterr().out
+
+    def test_missing_sweep_file_reports_error(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "run", str(tmp_path / "nope.json"),
+                    "--store-dir", str(tmp_path / "s"),
+                ]
+            )
+            == 2
+        )
 
 
 class TestFaultsCommand:

@@ -132,6 +132,33 @@ class TestCurveCache:
         )
         assert c is not a
 
+    def test_same_name_different_mixture_not_aliased(self):
+        """Regression: the cache used to key on ``profile.name`` alone,
+        so two profiles sharing a name aliased to whichever was profiled
+        first.  The key is now a digest of the whole profile."""
+        import dataclasses
+
+        from repro.analysis import misscache
+
+        original = BENCHMARKS["namd"]
+        impostor = dataclasses.replace(
+            original, components=BENCHMARKS["bzip2"].components
+        )
+        assert impostor.name == original.name
+
+        misscache.set_enabled(False)
+        clear_curve_cache()
+        try:
+            a = get_curve(original, num_sets=32, accesses=6_000)
+            b = get_curve(impostor, num_sets=32, accesses=6_000)
+            assert a is not b
+            assert a.points != b.points
+            # And each profile still memoises against itself.
+            assert get_curve(impostor, num_sets=32, accesses=6_000) is b
+        finally:
+            clear_curve_cache()
+            misscache.set_enabled(None)
+
 
 class TestCurvePersistence:
     def test_round_trip_through_json_file(self, tmp_path):
