@@ -153,6 +153,7 @@ def parallel_map(
     task_retries: int = 1,
     shared: Any = None,
     pool: Optional[WorkerPool] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> List[R]:
     """Map ``func`` over ``items``, optionally across processes.
 
@@ -183,13 +184,23 @@ def parallel_map(
     per chunk and merged back deterministically (see module
     docstring); with the default null observer, workers run unobserved
     and nothing is shipped.
+
+    ``progress`` is called as ``progress(items_done, items_total)``
+    with monotone ``done`` — per item on the serial path, per
+    collected chunk on the pool path (the sweep-heartbeat hook).
     """
     items = list(items)
     if pool is None:
         worker_count = resolve_jobs(jobs)
         if worker_count <= 1 or len(items) <= 1:
             with installed_shared(shared):
-                return [func(item) for item in items]
+                if progress is None:
+                    return [func(item) for item in items]
+                results: List[R] = []
+                for item in items:
+                    results.append(func(item))
+                    progress(len(results), len(items))
+                return results
         worker_count = min(worker_count, len(items))
         pool = shared_pool(worker_count, shared=shared)
     return pool.map(
@@ -197,4 +208,5 @@ def parallel_map(
         items,
         task_timeout=task_timeout,
         task_retries=task_retries,
+        progress=progress,
     )

@@ -337,14 +337,18 @@ class WorkerPool:
         task_timeout: Optional[float] = None,
         task_retries: int = 1,
         chunks_per_worker: int = CHUNKS_PER_WORKER,
+        progress: Optional[Callable[[int, int], None]] = None,
     ) -> List[R]:
         """Map ``func`` over ``items`` on the persistent workers.
 
         Results come back in input order.  ``task_timeout`` (seconds
         per item) arms per-chunk liveness: see the module docstring.
-        Exceptions raised by ``func`` propagate and are never retried
-        — a deterministic bug would fail every retry anyway — and the
-        pool stays usable afterwards.
+        ``progress`` is called as ``progress(items_done, items_total)``
+        after each chunk is collected (in input order, so ``done`` is
+        monotone) — the sweep heartbeat hook.  Exceptions raised by
+        ``func`` propagate and are never retried — a deterministic bug
+        would fail every retry anyway — and the pool stays usable
+        afterwards.
         """
         items = list(items)
         if not items:
@@ -361,7 +365,21 @@ class WorkerPool:
         ]
         pool = self._ensure_pool()
         if task_timeout is None:
-            pairs = pool.map(task, chunks, chunksize=1)
+            if progress is None:
+                pairs = pool.map(task, chunks, chunksize=1)
+            else:
+                # Per-chunk dispatch so completions surface as they
+                # collect; input-order collection keeps ``done``
+                # monotone (a later chunk finishing early just waits).
+                handles = [
+                    pool.apply_async(task, (chunk,)) for chunk in chunks
+                ]
+                pairs = []
+                done = 0
+                for chunk, handle in zip(chunks, handles):
+                    pairs.append(handle.get())
+                    done += len(chunk)
+                    progress(done, len(items))
         else:
             pairs = self._robust_map(
                 pool,
@@ -369,6 +387,7 @@ class WorkerPool:
                 chunks,
                 task_timeout=task_timeout,
                 task_retries=task_retries,
+                progress=progress,
             )
         results: List[R] = []
         for chunk_results, telemetry in pairs:  # input order == serial
@@ -385,6 +404,7 @@ class WorkerPool:
         *,
         task_timeout: float,
         task_retries: int,
+        progress: Optional[Callable[[int, int], None]] = None,
     ):
         """Chunk map that survives hung or killed workers.
 
@@ -400,6 +420,8 @@ class WorkerPool:
         slots: List[Optional[Tuple[List[R], Optional[Observer]]]] = [
             None
         ] * len(chunks)
+        total = sum(len(chunk) for chunk in chunks)
+        done = 0
         pending = list(range(len(chunks)))
         timed_out = False
         try:
@@ -418,9 +440,16 @@ class WorkerPool:
                     except multiprocessing.TimeoutError:
                         survivors.append(index)
                         timed_out = True
+                    else:
+                        done += len(chunks[index])
+                        if progress is not None:
+                            progress(done, total)
                 pending = survivors
             for index in pending:  # serial fallback, parent process
                 slots[index] = task(chunks[index])
+                done += len(chunks[index])
+                if progress is not None:
+                    progress(done, total)
         finally:
             if timed_out:
                 # Re-fork so a wedged worker cannot squat a slot (or a

@@ -350,7 +350,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"sweep: {error}", file=sys.stderr)
             return 2
         outcome = run_sweep(
-            spec, store_dir=args.store_dir, jobs=args.jobs
+            spec,
+            store_dir=args.store_dir,
+            jobs=args.jobs,
+            progress_out=not args.no_progress,
         )
         rows = [
             [
@@ -540,6 +543,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         metrics_out=args.serve_metrics_out,
         events_out=args.serve_events_out,
+        history_capacity=args.history_capacity,
+        sample_every=args.sample_every,
+        history_out=args.serve_history_out,
+        flight_out=args.serve_flight_out,
+        flight_window=args.flight_window,
     )
     return asyncio.run(serve_main(config))
 
@@ -589,6 +597,90 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if not report.conserves:
         return 1
     return 0 if report.transport_errors == 0 else 1
+
+
+def _http_get_json(host: str, port: int, path: str) -> dict:
+    """One stdlib GET returning parsed JSON (the ``repro top`` poll)."""
+    import http.client
+    import json as _json
+
+    connection = http.client.HTTPConnection(host, port, timeout=5.0)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        payload = response.read()
+        if response.status != 200:
+            raise OSError(
+                f"GET {path} -> {response.status}: "
+                f"{payload[:200].decode('utf-8', 'replace')}"
+            )
+        return _json.loads(payload)
+    finally:
+        connection.close()
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live ANSI dashboard over a serve target or a sweep stream.
+
+    Three sources, in precedence order: ``--sweep`` tails a progress
+    stream, ``--history``/``--stats`` render flushed artefacts (the
+    deterministic CI mode), and otherwise ``--host``/``--port`` poll a
+    running server.  ``--once`` prints a single frame with no escape
+    codes — rendering is pure, so the same inputs give the same bytes.
+    """
+    import json as _json
+    import time as _time
+    from pathlib import Path
+
+    from repro.obs.dashboard import render_serve_frame, render_sweep_frame
+    from repro.obs.timeseries import load_history_jsonl
+
+    def one_frame() -> str:
+        if args.sweep:
+            path = Path(args.sweep)
+            if not path.is_file():
+                from repro.analysis.store import ResultStore
+                from repro.analysis.sweep import progress_path_for
+
+                path = progress_path_for(
+                    ResultStore(args.store_dir), args.sweep
+                )
+            if not path.is_file():
+                raise OSError(f"no sweep progress stream at {path}")
+            return render_sweep_frame(load_history_jsonl(path))
+        if args.history or args.stats:
+            stats = (
+                _json.loads(Path(args.stats).read_text())
+                if args.stats
+                else {}
+            )
+            history = None
+            if args.history:
+                records = load_history_jsonl(args.history)
+                history = {"samples": records}
+            return render_serve_frame(stats, history)
+        stats = _http_get_json(args.host, args.port, "/stats")
+        history = _http_get_json(args.host, args.port, "/metrics/history")
+        return render_serve_frame(stats, history)
+
+    try:
+        if args.once:
+            sys.stdout.write(one_frame())
+            return 0
+        frames = 0
+        while True:
+            frame = one_frame()
+            sys.stdout.write("\x1b[2J\x1b[H" + frame)
+            sys.stdout.flush()
+            frames += 1
+            if args.frames is not None and frames >= args.frames:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as error:
+        print(f"top: {error}", file=sys.stderr)
+        return 2
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -856,6 +948,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_run.add_argument("spec", help="versioned JSON sweep file")
     sweep_run.add_argument(
+        "--no-progress", action="store_true",
+        help="skip the heartbeat stream "
+        "(<store>/sweeps/<name>.progress.jsonl)",
+    )
+    sweep_run.add_argument(
         "--baseline", default=None, metavar="SWEEP",
         help="after the run, regression-diff against this sweep "
         "(a report path or a sweep name in the store); dirty diff "
@@ -1039,6 +1136,29 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the event stream here on drain",
     )
+    serve.add_argument(
+        "--history-out", dest="serve_history_out", default=None,
+        metavar="PATH",
+        help="write the metric history (JSONL) here on drain",
+    )
+    serve.add_argument(
+        "--flight-out", dest="serve_flight_out", default=None,
+        metavar="PATH",
+        help="flight-recorder dump target (written on breaker trip "
+        "and on drain)",
+    )
+    serve.add_argument(
+        "--history-capacity", type=int, default=512,
+        help="history ring capacity; overflow halves resolution",
+    )
+    serve.add_argument(
+        "--sample-every", type=int, default=4,
+        help="housekeeping ticks between history samples",
+    )
+    serve.add_argument(
+        "--flight-window", type=float, default=30.0,
+        help="seconds of telemetry the flight recorder retains",
+    )
 
     loadgen = commands.add_parser(
         "loadgen",
@@ -1068,6 +1188,42 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--json", default=None, metavar="PATH",
         help="also write the load report as JSON here",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live dashboard over a serve target or sweep progress",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=8181)
+    top.add_argument(
+        "--stats", default=None, metavar="PATH",
+        help="render a saved /stats JSON payload instead of polling",
+    )
+    top.add_argument(
+        "--history", default=None, metavar="PATH",
+        help="render a saved metric-history JSONL instead of polling",
+    )
+    top.add_argument(
+        "--sweep", default=None, metavar="NAME_OR_PATH",
+        help="tail a sweep progress stream (name in the store, or a "
+        "*.progress.jsonl path)",
+    )
+    top.add_argument(
+        "--store-dir", default=None, metavar="DIR",
+        help="results store for --sweep by name",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one frame (no escape codes) and exit",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between live frames",
+    )
+    top.add_argument(
+        "--frames", type=int, default=None,
+        help="stop after this many live frames (default: until ^C)",
     )
 
     cluster = commands.add_parser(
@@ -1102,6 +1258,7 @@ HANDLERS = {
     "verify": _cmd_verify,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "top": _cmd_top,
 }
 
 

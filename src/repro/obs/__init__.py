@@ -57,6 +57,19 @@ from repro.obs.metrics import (
     metric_key,
 )
 from repro.obs.profiler import PhaseProfiler, PhaseRecord
+from repro.obs.timeseries import (
+    HISTORY_VERSION,
+    FlightRecorder,
+    HistoryRing,
+    HistorySchemaError,
+    HistoryWriter,
+    MetricsSampler,
+    history_point,
+    load_history_jsonl,
+    validate_history_jsonl,
+    validate_history_record,
+    write_history_jsonl,
+)
 from repro.obs.slo import (
     JobSloSummary,
     SloMonitor,
@@ -75,8 +88,14 @@ __all__ = [
     "Counter",
     "EventLog",
     "EventSchemaError",
+    "FlightRecorder",
     "Gauge",
+    "HISTORY_VERSION",
+    "HistoryRing",
+    "HistorySchemaError",
+    "HistoryWriter",
     "JobSloSummary",
+    "MetricsSampler",
     "MetricsRegistry",
     "NULL_OBSERVER",
     "NullMetricsRegistry",
@@ -91,12 +110,17 @@ __all__ = [
     "TraceLog",
     "derive_trace_id",
     "get_observer",
+    "history_point",
+    "load_history_jsonl",
     "metric_key",
     "observed",
     "reset_observer",
     "set_observer",
+    "validate_history_jsonl",
+    "validate_history_record",
     "validate_jsonl",
     "validate_record",
+    "write_history_jsonl",
 ]
 
 

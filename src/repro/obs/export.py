@@ -20,10 +20,16 @@ a live registry (``registry.snapshot()``) and on a loaded artefact
 from __future__ import annotations
 
 import json
+import math
 import re
 from typing import Dict, Iterator, List, Optional, Tuple
 
-_KEY_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+# DOTALL + \Z so label values containing newlines still parse — the
+# exposition renderer escapes them, but the canonical key carries them
+# raw.
+_KEY_RE = re.compile(
+    r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?\Z", re.DOTALL
+)
 
 _INVALID_PROM_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
 
@@ -58,11 +64,25 @@ def _prometheus_name(name: str) -> str:
     return flattened
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the exposition format.
+
+    Backslash, double quote, and newline are the three characters the
+    format reserves inside quoted label values.  Order matters:
+    backslashes first, or the escapes themselves get re-escaped.
+    """
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prometheus_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     rendered = ",".join(
-        f'{_prometheus_name(key)}="{value}"'
+        f'{_prometheus_name(key)}="{_escape_label_value(str(value))}"'
         for key, value in sorted(labels.items())
     )
     return "{" + rendered + "}"
@@ -73,7 +93,14 @@ def _format_value(value: object) -> str:
         return "1" if value else "0"
     if isinstance(value, int):
         return str(value)
-    return repr(float(value))
+    value = float(value)
+    # Prometheus spells the special values NaN/+Inf/-Inf — Python's
+    # repr ("nan"/"inf") is not parseable by promtool.
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
 
 
 def prometheus_lines(records: List[dict]) -> Iterator[str]:
@@ -150,8 +177,15 @@ def prometheus_lines(records: List[dict]) -> Iterator[str]:
 
 
 def prometheus_text(records: List[dict]) -> str:
-    """The full Prometheus exposition as one string (for ``/metrics``)."""
-    return "\n".join(prometheus_lines(records)) + "\n"
+    """The full Prometheus exposition as one string (for ``/metrics``).
+
+    An empty snapshot renders as the empty string — a lone ``"\\n"``
+    is not a valid exposition body.
+    """
+    lines = list(prometheus_lines(records))
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
 
 
 def summary_dict(

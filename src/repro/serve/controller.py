@@ -142,7 +142,7 @@ class ServeController:
         """Run the full admission pipeline for one request."""
         decision = self._decide(request, now)
         self.accounting.record(decision)
-        self._observe(decision, now)
+        self._observe(decision, now, tenant=request.tenant)
         return decision
 
     def shed(
@@ -159,7 +159,7 @@ class ServeController:
             outcome=outcome, reason=reason, retry_after=retry_after
         )
         self.accounting.record(decision)
-        self._observe(decision, now)
+        self._observe(decision, now, tenant=tenant)
         return decision
 
     def _decide(self, request: AdmitRequest, now: float) -> Decision:
@@ -363,7 +363,9 @@ class ServeController:
 
     # -- telemetry --------------------------------------------------------
 
-    def _observe(self, decision: Decision, now: float) -> None:
+    def _observe(
+        self, decision: Decision, now: float, *, tenant: str = ""
+    ) -> None:
         obs = get_observer()
         if not obs.enabled:
             return
@@ -371,6 +373,15 @@ class ServeController:
         obs.metrics.counter(
             "serve.decisions", outcome=decision.outcome.wire
         ).inc()
+        # Per-tenant SLO view for the dashboard: every outcome weaker
+        # than a clean admit (downgrade, reject, shed) counts as a
+        # violation of what the tenant asked for.
+        label = tenant or "-"
+        obs.metrics.counter("serve.tenant.offered", tenant=label).inc()
+        if decision.outcome is not DecisionOutcome.ADMIT:
+            obs.metrics.counter(
+                "serve.tenant.violations", tenant=label
+            ).inc()
         obs.metrics.gauge("serve.inflight").set(len(self.active))
         obs.events.emit(
             "serve.decision",

@@ -39,8 +39,15 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.cache.backend import default_backend
 from repro.core.spec import ResourceVector
-from repro.obs import Observer, get_observer
+from repro.obs import (
+    FlightRecorder,
+    HistoryRing,
+    MetricsSampler,
+    Observer,
+    get_observer,
+)
 from repro.serve.controller import ServeController
 from repro.serve.health import (
     HealthMonitor,
@@ -81,6 +88,14 @@ class ServerConfig:
     seed: int = 0
     metrics_out: Optional[str] = None
     events_out: Optional[str] = None
+    # Time-series telemetry (PR 9): the history ring always serves
+    # ``GET /metrics/history``; samples are only *taken* when a live
+    # observer is installed (zero-cost-when-disabled).
+    history_capacity: int = 512
+    sample_every: int = 4  # housekeeping ticks per history sample
+    history_out: Optional[str] = None
+    flight_out: Optional[str] = None
+    flight_window: float = 30.0
 
     def capacity(self) -> ResourceVector:
         return ResourceVector(
@@ -218,6 +233,14 @@ class QosServer:
         self._started = time.monotonic()
         self._server: Optional[asyncio.AbstractServer] = None
         self._tasks: List["asyncio.Task"] = []
+        # Time-series telemetry: the objects are cheap to hold, but no
+        # sample is ever taken unless the observer is enabled.
+        self.history = HistoryRing(self.config.history_capacity)
+        self.sampler = MetricsSampler(self.history)
+        self.flight = FlightRecorder(window=self.config.flight_window)
+        self._ticks = 0
+        self._last_rung = 0
+        self._fingerprint: Optional[str] = None
 
     # -- clock ------------------------------------------------------------
 
@@ -307,6 +330,18 @@ class QosServer:
                 offered=self.controller.accounting.offered,
                 conserves=self.controller.accounting.conserves,
             )
+            # Final forced sample: the history stream's last record
+            # carries the same counter totals /stats reports, so the
+            # conservation check holds against the file too.
+            self._take_sample(obs, self.now(), force=True)
+            if self.config.flight_out:
+                self.flight.dump(
+                    self.config.flight_out,
+                    t=max(0.0, self.now()),
+                    reason="drain",
+                )
+            if self.config.history_out:
+                self.history.write_jsonl(self.config.history_out)
         self._flush_artifacts()
         self.stopped.set()
 
@@ -394,6 +429,72 @@ class QosServer:
                         ceiling=self.controller.breaker.ceiling.value,
                         health=snapshot.state.value,
                     )
+                self._ticks += 1
+                if self._ticks % max(1, self.config.sample_every) == 0:
+                    self._take_sample(obs, now)
+                if changed:
+                    self._on_breaker_change(obs, now)
+
+    # -- time-series telemetry --------------------------------------------
+
+    def _take_sample(self, obs, now: float, *, force: bool = False) -> None:
+        """One history point: scalar metrics + uptime, flight-fed.
+
+        The accounting triple rides along as explicit ``serve.*``
+        series — per-outcome counters alone would force every reader
+        to re-derive the admitted/rejected/shed partition.
+
+        ``force=True`` bypasses the ring's downsampling stride — the
+        drain-time final sample uses it so the last history record's
+        counter totals always equal the final ``/stats`` accounting.
+        """
+        accounting = self.controller.accounting
+        point = self.sampler.sample(
+            obs.metrics,
+            max(0.0, now),
+            extra={
+                "serve.offered": accounting.offered,
+                "serve.admitted": accounting.admitted,
+                "serve.rejected": accounting.rejected,
+                "serve.shed": accounting.shed,
+                "serve.downgraded": accounting.downgraded,
+            },
+            force=force,
+            uptime=round(now, 3),
+        )
+        self.flight.note_sample(point)
+        self.flight.note_events(obs.events.records)
+
+    def _on_breaker_change(self, obs, now: float) -> None:
+        """Flight-dump on a trip (rung stepping down toward open)."""
+        breaker = self.controller.breaker
+        rung = breaker.rung
+        tripped = rung > self._last_rung
+        self._last_rung = rung
+        if tripped and self.config.flight_out:
+            self._take_sample(obs, now, force=True)
+            self.flight.dump(
+                self.config.flight_out,
+                t=max(0.0, now),
+                reason=f"breaker:{breaker.ceiling.value}",
+            )
+
+    def fingerprint(self) -> str:
+        """Code fingerprint of the serve-relevant modules (memoised)."""
+        if self._fingerprint is None:
+            from repro.analysis.store import modules_fingerprint
+
+            self._fingerprint = modules_fingerprint(
+                (
+                    "repro.core.admission",
+                    "repro.core.modes",
+                    "repro.serve.controller",
+                    "repro.serve.health",
+                    "repro.serve.protocol",
+                    "repro.serve.shedding",
+                )
+            )
+        return self._fingerprint
 
     # -- request handling -------------------------------------------------
 
@@ -467,12 +568,14 @@ class QosServer:
             return self._handle_stats()
         if path == "/metrics" and method == "GET":
             return self._handle_metrics()
+        if path == "/metrics/history" and method == "GET":
+            return self._handle_history()
         if path == "/v1/drain" and method == "POST":
             asyncio.ensure_future(self.drain())
             return _render_response(200, {"draining": True})
         if path in (
             "/v1/admit", "/v1/release", "/v1/drain",
-            "/healthz", "/stats", "/metrics",
+            "/healthz", "/stats", "/metrics", "/metrics/history",
         ):
             raise _HttpError(405, f"{method} not allowed on {path}")
         raise _HttpError(404, f"no route for {path}")
@@ -607,7 +710,12 @@ class QosServer:
             if self.health.last
             else {"state": self.health.state.value}
         )
+        payload["cache_backend"] = default_backend()
+        payload["fingerprint"] = self.fingerprint()
         return _render_response(200, payload)
+
+    def _handle_history(self) -> bytes:
+        return _render_response(200, self.history.to_payload())
 
     def _handle_metrics(self) -> bytes:
         from repro.obs.export import prometheus_text

@@ -134,6 +134,11 @@ class CircuitBreaker:
         """Open == shedding all new work (ladder bottom)."""
         return self.ceiling is DegradationStage.BEST_EFFORT
 
+    @property
+    def rung(self) -> int:
+        """The ladder index (0 == STRICT/closed … 3 == open)."""
+        return self._rung
+
     # -- observation feed -------------------------------------------------
 
     def record(self, state: HealthState) -> bool:
@@ -203,6 +208,7 @@ class CircuitBreaker:
         return {
             "ceiling": self.ceiling.value,
             "open": self.is_open,
+            "rung": self._rung,
             "overload_streak": self._overload_streak,
             "healthy_streak": self._healthy_streak,
             "transitions": self.transitions,

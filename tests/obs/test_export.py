@@ -9,6 +9,7 @@ from repro.obs.export import (
     load_metrics_jsonl,
     parse_metric_key,
     prometheus_lines,
+    prometheus_text,
     summary_dict,
     write_prometheus,
     write_summary_json,
@@ -151,3 +152,67 @@ class TestLoadersAndWriters:
             json.dumps(parsed, sort_keys=True, separators=(",", ":")) + "\n"
             == text
         )
+
+
+class TestPrometheusEdgeCases:
+    """The exposition-format corners: escaping, specials, emptiness."""
+
+    def test_label_value_quote_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", tenant='say "hi"').inc()
+        line = next(
+            line for line in prometheus_lines(registry.snapshot())
+            if not line.startswith("#")
+        )
+        assert 'tenant="say \\"hi\\""' in line
+
+    def test_label_value_backslash_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", path="C:\\tmp").inc()
+        line = next(
+            line for line in prometheus_lines(registry.snapshot())
+            if not line.startswith("#")
+        )
+        # One source backslash renders as two in the exposition.
+        assert 'path="C:\\\\tmp"' in line
+
+    def test_label_value_newline_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs", note="a\nb").inc()
+        line = next(
+            line for line in prometheus_lines(registry.snapshot())
+            if not line.startswith("#")
+        )
+        assert 'note="a\\nb"' in line
+        assert "\n" not in line
+
+    def test_escaping_order_backslash_before_quote(self):
+        # A pre-escaped-looking value must not double-unescape: the
+        # backslash pass runs first, so \" in the source becomes \\\".
+        registry = MetricsRegistry()
+        registry.counter("reqs", odd='\\"').inc()
+        line = next(
+            line for line in prometheus_lines(registry.snapshot())
+            if not line.startswith("#")
+        )
+        assert 'odd="\\\\\\""' in line
+
+    def test_nan_and_infinities_render_promtool_spellings(self):
+        registry = MetricsRegistry()
+        registry.gauge("g.nan").set(float("nan"))
+        registry.gauge("g.posinf").set(float("inf"))
+        registry.gauge("g.neginf").set(float("-inf"))
+        text = prometheus_text(registry.snapshot())
+        assert "g_nan NaN" in text
+        assert "g_posinf +Inf" in text
+        assert "g_neginf -Inf" in text
+        # Python's own spellings never leak through.
+        assert "nan\n" not in text and " inf" not in text
+
+    def test_empty_registry_renders_empty_string(self):
+        assert prometheus_text([]) == ""
+        assert prometheus_text(MetricsRegistry().snapshot()) == ""
+
+    def test_nonempty_text_ends_with_single_newline(self):
+        text = prometheus_text(sample_registry().snapshot())
+        assert text.endswith("\n") and not text.endswith("\n\n")
