@@ -105,7 +105,7 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 def _cmd_fig5(args: argparse.Namespace) -> int:
     curves = load_curves(args.curves) if args.curves else None
     results = run_all_configurations(
-        args.workload, curves=curves, jobs=args.jobs
+        args.workload, curves=curves, jobs=args.jobs, policy=args.policy
     )
     print(deadline_table(results, title=f"Figure 5a — {args.workload}"))
     print()
@@ -119,7 +119,9 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig6(args: argparse.Namespace) -> int:
-    results = run_all_configurations(args.workload, jobs=args.jobs)
+    results = run_all_configurations(
+        args.workload, jobs=args.jobs, policy=args.policy
+    )
     for config, result in results.items():
         print(wall_clock_table(result, title=f"Figure 6 — {config}"))
         print()
@@ -132,6 +134,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         configurations=["All-Strict", "All-Strict+AutoDown"],
         record_trace=True,
         jobs=args.jobs,
+        policy=args.policy,
     )
     for config, result in results.items():
         print(f"Figure 7 — {config}")
@@ -462,11 +465,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     if args.verify_command == "diff":
         if args.fig:
             scenario = Scenario.for_figure(args.fig, seed=args.seed)
-            if args.pair_backend != scenario.fast_backend:
+            if (
+                args.pair_backend != scenario.fast_backend
+                or args.pair_policy != scenario.pair_policy
+            ):
                 import dataclasses as _dataclasses
 
                 scenario = _dataclasses.replace(
-                    scenario, fast_backend=args.pair_backend
+                    scenario,
+                    fast_backend=args.pair_backend,
+                    pair_policy=args.pair_policy,
                 )
         else:
             scenario = Scenario(
@@ -478,6 +486,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 jobs=args.pair_jobs,
                 fast_backend=args.pair_backend,
+                pair_policy=args.pair_policy,
             )
         report = run_diff(
             scenario,
@@ -486,7 +495,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             abs_tol=args.abs_tol,
         )
     elif args.verify_command == "laws":
-        report = run_laws(args.seed, names=args.laws or None)
+        report = run_laws(
+            args.seed, names=args.laws or None, policy=args.policy
+        )
     elif args.verify_command == "fuzz":
         report = run_fuzz(
             args.seed,
@@ -548,6 +559,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         history_out=args.serve_history_out,
         flight_out=args.serve_flight_out,
         flight_window=args.flight_window,
+        policy=args.policy,
     )
     return asyncio.run(serve_main(config))
 
@@ -770,6 +782,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(JSONL, one span per line) here",
     )
 
+    # Closed-loop policy selection, shared by the commands that drive
+    # the QoS simulator (repro.core.policy registry names).
+    from repro.core.policy import policy_names
+
+    policy_parent = argparse.ArgumentParser(add_help=False)
+    policy_parent.add_argument(
+        "--policy", choices=policy_names(), default=None,
+        help="run under a closed-loop adaptive policy (static wrappers "
+        "are trajectory-identical to no policy; default none)",
+    )
+
     commands.add_parser("list", help="list workloads and commands")
 
     commands.add_parser(
@@ -779,7 +802,9 @@ def build_parser() -> argparse.ArgumentParser:
         "fig4", help="Figure 4 sensitivity scatter", parents=[perf]
     )
 
-    fig5 = commands.add_parser("fig5", help="Figure 5 panels", parents=[perf])
+    fig5 = commands.add_parser(
+        "fig5", help="Figure 5 panels", parents=[perf, policy_parent]
+    )
     fig5.add_argument("workload", choices=WORKLOAD_CHOICES)
     fig5.add_argument(
         "--json", help="also write the results to this JSON file"
@@ -789,12 +814,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     fig6 = commands.add_parser(
-        "fig6", help="Figure 6 wall-clock candles", parents=[perf]
+        "fig6",
+        help="Figure 6 wall-clock candles",
+        parents=[perf, policy_parent],
     )
     fig6.add_argument("workload", choices=WORKLOAD_CHOICES)
 
     fig7 = commands.add_parser(
-        "fig7", help="Figure 7 execution traces", parents=[perf]
+        "fig7",
+        help="Figure 7 execution traces",
+        parents=[perf, policy_parent],
     )
     fig7.add_argument(
         "workload", nargs="?", default="bzip2", choices=WORKLOAD_CHOICES
@@ -1003,7 +1032,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     verify_diff = verify_commands.add_parser(
         "diff",
-        help="paired executions: backend / jobs / faults agreement",
+        help="paired executions: backend / jobs / faults / policy "
+        "agreement",
         parents=[verify_tol],
     )
     verify_diff.add_argument(
@@ -1026,7 +1056,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify_diff.add_argument("--seed", type=int, default=0)
     verify_diff.add_argument(
         "--pairs", nargs="+", default=["backend", "jobs", "faults"],
-        choices=["backend", "jobs", "faults"],
+        choices=["backend", "jobs", "faults", "policy"],
         help="differential pairs to run",
     )
     verify_diff.add_argument(
@@ -1036,6 +1066,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify_diff.add_argument(
         "--pair-backend", default="fast", choices=["fast", "fast-vec"],
         help="fast arm of the backend pair (fast-vec needs numpy)",
+    )
+    verify_diff.add_argument(
+        "--pair-policy", default="grow-shrink",
+        choices=["grow-shrink", "bandwidth-steal"],
+        help="adaptive policy whose disabled variant the policy pair "
+        "checks against the wrapped static mode",
     )
 
     verify_laws = verify_commands.add_parser(
@@ -1047,6 +1083,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify_laws.add_argument(
         "--laws", nargs="+", default=None, metavar="LAW",
         help="subset of laws to check (default: all)",
+    )
+    verify_laws.add_argument(
+        "--policy", default=None, metavar="POLICY",
+        help="run the policy conformance laws instead, for one "
+        "registered policy or 'all'",
     )
 
     verify_fuzz = verify_commands.add_parser(
@@ -1069,7 +1110,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_fuzz.add_argument(
         "--pairs", nargs="+", default=None,
-        choices=["backend", "jobs", "faults"],
+        choices=["backend", "jobs", "faults", "policy"],
         help="pin the differential pairs (default: random per case)",
     )
 
@@ -1158,6 +1199,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--flight-window", type=float, default=30.0,
         help="seconds of telemetry the flight recorder retains",
+    )
+    serve.add_argument(
+        "--policy", choices=policy_names(), default=None,
+        help="advisory closed-loop policy observing server health "
+        "each housekeeping tick (decisions surface in /stats)",
     )
 
     loadgen = commands.add_parser(

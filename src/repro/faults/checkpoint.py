@@ -57,6 +57,11 @@ class SimulationCheckpoint:
     # replay — so the backend *name* is the only backend state a
     # checkpoint needs, but it must be pinned explicitly.
     cache_backend: str = "reference"
+    # Registry name of the adaptive policy driving the run (None: no
+    # policy).  Policies are deterministic functions of the trajectory,
+    # so the name is all replay needs; the class-level default keeps
+    # pre-policy pickles loadable.
+    policy: Optional[str] = None
 
     def describe(self) -> str:
         """One-line summary for CLI output."""
@@ -75,6 +80,17 @@ def checkpoint_simulator(
     budget-limited :meth:`~repro.sim.system.QoSSystemSimulator.run`
     returned a partial result.
     """
+    policy_name: Optional[str] = None
+    if simulator.policy is not None:
+        from repro.core.policy import policy_names
+
+        policy_name = simulator.policy.name
+        if policy_name not in policy_names():
+            raise ValueError(
+                f"policy {policy_name!r} is not in the registry; replay "
+                "could not reconstruct it, so the run cannot be "
+                "checkpointed"
+            )
     return SimulationCheckpoint(
         version=CHECKPOINT_VERSION,
         events_fired=simulator.events.events_fired,
@@ -85,6 +101,7 @@ def checkpoint_simulator(
         fault_config=simulator.fault_config,
         record_trace=simulator.record_trace,
         cache_backend=simulator.machine.resolved_cache_backend,
+        policy=policy_name,
     )
 
 
@@ -132,6 +149,7 @@ def resume_simulator(
     miss-ratio curves to skip re-profiling; profiling is deterministic,
     so omitting them changes nothing but startup time.
     """
+    from repro.core.policy import make_policy
     from repro.sim.engine import RUN_EVENT_BUDGET, RunBudget
     from repro.sim.system import QoSSystemSimulator
 
@@ -149,6 +167,11 @@ def resume_simulator(
         curves=curves,
         record_trace=checkpoint.record_trace,
         fault_config=checkpoint.fault_config,
+        policy=(
+            make_policy(checkpoint.policy)
+            if checkpoint.policy is not None
+            else None
+        ),
     )
     simulator.start()
     outcome = simulator.events.run(

@@ -184,6 +184,16 @@ def render_serve_frame(
         f"  inflight={stats.get('inflight', 0)}"
     )
 
+    # Advisory adaptive policy, when the server runs one.
+    policy = stats.get("policy")
+    if policy:
+        granted = "granted" if policy.get("granted") else "idle"
+        lines.append(
+            f"policy  {policy.get('name', '?')}"
+            f"  bus={granted}"
+            f"  decisions={policy.get('decisions', 0)}"
+        )
+
     # Rate sparklines from successive history samples.
     if samples:
         lines.append("-" * FRAME_WIDTH)

@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache.backend import default_backend
+from repro.core.policy import SensorSnapshot, SetBusGrant, make_policy
 from repro.core.spec import ResourceVector
 from repro.obs import (
     FlightRecorder,
@@ -96,6 +97,11 @@ class ServerConfig:
     history_out: Optional[str] = None
     flight_out: Optional[str] = None
     flight_window: float = 30.0
+    # Advisory closed-loop policy (repro.core.policy registry name):
+    # it observes health pressure each housekeeping tick and its
+    # decisions surface in /stats and the event stream.  The server's
+    # admission math is untouched — actuation here is observational.
+    policy: Optional[str] = None
 
     def capacity(self) -> ResourceVector:
         return ResourceVector(
@@ -241,6 +247,16 @@ class QosServer:
         self._ticks = 0
         self._last_rung = 0
         self._fingerprint: Optional[str] = None
+        self.policy = (
+            make_policy(self.config.policy)
+            if self.config.policy is not None
+            else None
+        )
+        if self.policy is not None:
+            self.policy.reset()
+        self._policy_granted = False
+        self._policy_decisions = 0
+        self._policy_epochs = 0
 
     # -- clock ------------------------------------------------------------
 
@@ -434,6 +450,45 @@ class QosServer:
                     self._take_sample(obs, now)
                 if changed:
                     self._on_breaker_change(obs, now)
+            if self.policy is not None and self.policy.adaptive:
+                self._policy_tick(obs, now, snapshot)
+
+    def _policy_tick(self, obs, now: float, health) -> None:
+        """One advisory policy epoch driven by server health.
+
+        The bus-utilisation sensor is proxied by health pressure (both
+        are "how contended is the shared resource" in [0, 1+]); there
+        are no simulated jobs, so ways policies see an empty job list
+        and emit nothing.
+        """
+        snapshot = SensorSnapshot(
+            now=now,
+            epoch_index=self._policy_epochs,
+            l2_ways=self.config.cache_ways,
+            reserved_ways=0,
+            spare_ways=self.config.cache_ways,
+            bus_utilisation=health.pressure,
+            bus_saturated=health.state is HealthState.OVERLOADED,
+            bus_granted=self._policy_granted,
+        )
+        self._policy_epochs += 1
+        for action in self.policy.decide(snapshot):
+            if not isinstance(action, SetBusGrant):
+                continue
+            if action.granted == self._policy_granted:
+                continue
+            self._policy_granted = action.granted
+            self._policy_decisions += 1
+            if obs.enabled:
+                obs.metrics.gauge("serve.policy.granted").set(
+                    1 if action.granted else 0
+                )
+                obs.events.emit(
+                    "policy.decision",
+                    now,
+                    policy=self.policy.name,
+                    **action.describe(),
+                )
 
     # -- time-series telemetry --------------------------------------------
 
@@ -712,6 +767,12 @@ class QosServer:
         )
         payload["cache_backend"] = default_backend()
         payload["fingerprint"] = self.fingerprint()
+        if self.policy is not None:
+            payload["policy"] = {
+                "name": self.policy.name,
+                "granted": self._policy_granted,
+                "decisions": self._policy_decisions,
+            }
         return _render_response(200, payload)
 
     def _handle_history(self) -> bytes:

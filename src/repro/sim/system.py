@@ -53,6 +53,15 @@ from repro.core.metrics import (
     WallClockSummary,
 )
 from repro.core.modes import ExecutionMode, ModeKind
+from repro.core.policy import (
+    ActuatorState,
+    JobSensor,
+    Policy,
+    SensorSnapshot,
+    SetBusGrant,
+    SetWays,
+    apply_action,
+)
 from repro.core.spec import QoSTarget, ResourceVector, TimeslotRequest
 from repro.core.stealing import (
     ResourceStealingController,
@@ -101,6 +110,10 @@ class _JobRun:
     cpu_share: float = 0.0
     rate: float = 0.0  # instructions per second
     progress: float = 0.0  # instructions retired (float-precision)
+    # Adaptive-policy override of the reserved allocation (None: the
+    # admission-requested ways).  Only meaningful for reserved strict
+    # jobs; cleared on (re-)dispatch and displacement.
+    policy_ways: Optional[int] = None
     # Elastic stealing state
     steal: Optional[ResourceStealingController] = None
     actual_misses: float = 0.0
@@ -161,6 +174,9 @@ class SystemResult:
     # In-run QoS/SLO monitoring outcome; populated only when an
     # observer is live (the monitor exists for the run's duration).
     slo: Optional[SloReport] = None
+    # Effective adaptive-policy actions committed during the run; 0 for
+    # policy-free runs, static wrappers, and disabled adaptive policies.
+    policy_decisions: int = 0
 
     def counter_snapshot(self) -> Dict[str, object]:
         """Deterministic flat view of every scalar observable.
@@ -211,6 +227,11 @@ class SystemResult:
             snapshot[f"ways_history[{job_id}]"] = list(
                 self.per_job_ways_history[job_id]
             )
+        # Present only when an adaptive policy actually acted, so runs
+        # without a policy (and runs under static wrappers or disabled
+        # adaptive policies) keep a byte-identical snapshot surface.
+        if self.policy_decisions:
+            snapshot["policy.decisions"] = self.policy_decisions
         if self.resilience is not None:
             res = self.resilience
             snapshot["resilience.faults_injected"] = res.faults_injected
@@ -398,6 +419,7 @@ class QoSSystemSimulator:
         curves: Optional[Dict[str, MissRatioCurve]] = None,
         record_trace: bool = True,
         fault_config: Optional[FaultConfig] = None,
+        policy: Optional[Policy] = None,
     ) -> None:
         if workload.configuration.equal_partition:
             raise ValueError(
@@ -437,6 +459,21 @@ class QoSSystemSimulator:
         self._last_advance = 0.0
         self._finished = False
         self._bus_saturated = False
+
+        # Closed-loop adaptive policy (None: open-loop, exactly the
+        # pre-policy simulator).  Static wrappers never schedule epochs,
+        # so they are trajectory-identical to policy=None.
+        self.policy = policy
+        self._policy_epoch_seconds = self.machine.cycles_to_seconds(
+            self.machine.repartition_interval_instructions
+        )
+        self._policy_epoch_index = 0
+        self._policy_decisions = 0
+        self._policy_bus_grant = False
+        self._last_bus_utilisation = 0.0
+        # (now, reserved_ways, spare_ways) after each epoch's actuation;
+        # the capacity-conservation law audits this.
+        self._policy_audit: List[Tuple[float, int, int]] = []
 
         # Fault injection and resilience (all inert when fault_config is
         # None or injects nothing: no events are scheduled, no RNG
@@ -537,6 +574,12 @@ class QoSSystemSimulator:
         self._mean_gap = self._mean_probe_gap()
         self._probe_rng = self.rng.stream("probes")
         self.events.schedule(0.0, self._on_probe)
+        if self.policy is not None:
+            self.policy.reset()
+            if self.policy.adaptive:
+                self.events.schedule(
+                    self._policy_epoch_seconds, self._on_policy_epoch
+                )
         if self.fault_config is not None:
             if self.fault_config.has_any_faults:
                 horizon = self.fault_config.horizon
@@ -978,6 +1021,7 @@ class QoSSystemSimulator:
         self._reserved_cores[core] = state.job.job_id
         state.core_id = core
         state.reserved_running = True
+        state.policy_ways = None
         self._trace_segment(state, "exec.reserved", now)
         if not state.running:
             state.running = True
@@ -1052,11 +1096,12 @@ class QoSSystemSimulator:
             state.cpu_share = (
                 0.0 if state.core_id in self._stalled_cores else 1.0
             )
-            state.ways = (
-                state.steal.current_ways
-                if state.steal is not None
-                else state.spec.requested_ways
-            )
+            if state.steal is not None:
+                state.ways = state.steal.current_ways
+            elif state.policy_ways is not None:
+                state.ways = state.policy_ways
+            else:
+                state.ways = state.spec.requested_ways
             reserved_ways_total += state.ways
 
         # Opportunistic pool: round-robin over unreserved healthy cores,
@@ -1121,10 +1166,18 @@ class QoSSystemSimulator:
             )
             opp_multiplier = bus["penalty_multiplier"]
             self._bus_saturated = bus["saturated"]
+            self._last_bus_utilisation = bus["utilisation"]
+            # An active bandwidth-steal grant hands opportunistic
+            # traffic the idle bus: no queueing penalty.  Reserved jobs
+            # were never penalised, and utilisation is computed from
+            # base CPI, so the grant cannot feed back into the sensor.
+            if self._policy_bus_grant:
+                opp_multiplier = 1.0
         else:
             bus = None
             opp_multiplier = 1.0
             self._bus_saturated = False
+            self._last_bus_utilisation = 0.0
         obs = get_observer()
         if obs.enabled:
             obs.metrics.gauge("mem.bus.penalty_multiplier").set(
@@ -1191,6 +1244,151 @@ class QoSSystemSimulator:
 
         if self._invariants is not None:
             self._invariants.maybe_check()
+
+    # -- adaptive policy epochs -------------------------------------------------
+
+    @property
+    def policy_audit(self) -> List[Tuple[float, int, int]]:
+        """(now, reserved_ways, spare_ways) after each decision epoch."""
+        return list(self._policy_audit)
+
+    def _policy_sensors(self, now: float) -> SensorSnapshot:
+        """Pure sensor read: no simulation state is mutated.
+
+        Progress is projected locally from the piecewise-constant rates
+        (``progress + rate * (now - last_advance)``) instead of calling
+        ``_advance_all``, so an epoch whose decision is empty leaves the
+        trajectory byte-identical to a run without the policy.
+        """
+        elapsed = max(0.0, now - self._last_advance)
+        jobs: List[JobSensor] = []
+        reserved_ways_total = 0
+        for job_id in sorted(self._states):
+            state = self._states[job_id]
+            if not state.running or state.job.state is not JobState.RUNNING:
+                continue
+            if state.reserved_running:
+                reserved_ways_total += state.ways
+            progress = state.progress
+            if state.rate > 0.0 and elapsed > 0.0:
+                progress = min(
+                    progress + state.rate * elapsed,
+                    float(state.job.instructions),
+                )
+            remaining = state.job.instructions - progress
+            if remaining <= _PROGRESS_EPSILON:
+                projected = now
+            elif state.rate > 0.0:
+                projected = now + remaining / state.rate
+            else:
+                projected = math.inf
+            rates_by_ways: Tuple[float, ...] = ()
+            if state.reserved_running and state.steal is None:
+                rates_by_ways = tuple(
+                    0.0
+                    if ways == 0
+                    else self.machine.clock_hz
+                    / state.cpi_model.cpi(state.curve.mpi(ways))
+                    for ways in range(self.machine.l2_ways + 1)
+                )
+            reservation_end: Optional[float] = None
+            if (
+                state.reservation is not None
+                and state.reservation.end != math.inf
+            ):
+                reservation_end = state.reservation.end
+            jobs.append(
+                JobSensor(
+                    job_id=job_id,
+                    mode=state.job.current_mode.kind.value,
+                    reserved=state.reserved_running,
+                    elastic=state.steal is not None,
+                    ways=state.ways,
+                    requested_ways=state.spec.requested_ways,
+                    progress=progress,
+                    instructions=state.job.instructions,
+                    rate=state.rate,
+                    deadline=state.job.deadline,
+                    reservation_end=reservation_end,
+                    projected_finish=projected,
+                    miss_increase_fraction=state.miss_increase_fraction(),
+                    rates_by_ways=rates_by_ways,
+                )
+            )
+        return SensorSnapshot(
+            now=now,
+            epoch_index=self._policy_epoch_index,
+            l2_ways=self.machine.l2_ways,
+            reserved_ways=reserved_ways_total,
+            spare_ways=self.machine.l2_ways - reserved_ways_total,
+            bus_utilisation=self._last_bus_utilisation,
+            bus_saturated=self._bus_saturated,
+            bus_granted=self._policy_bus_grant,
+            jobs=tuple(jobs),
+        )
+
+    def _policy_actuator_view(self) -> ActuatorState:
+        """Shadow of the actuatable state, for effectiveness filtering.
+
+        Every reserved job counts toward the capacity total, but only
+        reserved strict jobs (no stealing controller) accept ``SetWays``
+        — elastic allocations are owned by their stealing controllers.
+        Targets are capped at the admission-requested ways, which is
+        what the LAC booked, so policy growth can never oversubscribe.
+        """
+        ways: Dict[int, int] = {}
+        caps: Dict[int, int] = {}
+        locked = set()
+        for job_id, state in self._states.items():
+            if not state.running or not state.reserved_running:
+                continue
+            ways[job_id] = state.ways
+            caps[job_id] = state.spec.requested_ways
+            if state.steal is not None:
+                locked.add(job_id)
+        return ActuatorState(
+            total_ways=self.machine.l2_ways,
+            ways=ways,
+            caps=caps,
+            locked=frozenset(locked),
+            bus_granted=self._policy_bus_grant,
+        )
+
+    def _on_policy_epoch(self, now: float) -> None:
+        if self._finished or self.policy is None:
+            return
+        snapshot = self._policy_sensors(now)
+        actions = self.policy.decide(snapshot)
+        view = self._policy_actuator_view()
+        effective = [a for a in actions if apply_action(view, a)]
+        self._policy_epoch_index += 1
+        self._policy_audit.append((now, view.reserved_total(), view.spare()))
+        if effective:
+            self._advance_all(now)
+            obs = get_observer()
+            for action in effective:
+                self._commit_policy_action(action)
+                self._policy_decisions += 1
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "sim.policy.decisions", policy=self.policy.name
+                    ).inc()
+                    obs.events.emit(
+                        "policy.decision",
+                        now,
+                        policy=self.policy.name,
+                        **action.describe(),
+                    )
+            self._recompute(now)
+        self.events.schedule(
+            now + self._policy_epoch_seconds, self._on_policy_epoch
+        )
+
+    def _commit_policy_action(self, action) -> None:
+        if isinstance(action, SetWays):
+            self._states[action.job_id].policy_ways = action.ways
+        elif isinstance(action, SetBusGrant):
+            self._policy_bus_grant = action.granted
 
     def _reschedule_completion(self, state: _JobRun, now: float) -> None:
         if state.completion_handle is not None:
@@ -1461,6 +1659,7 @@ class QoSSystemSimulator:
             state.steal_handle.cancel()
             state.steal_handle = None
         state.steal = None
+        state.policy_ways = None
         state.retry_attempt = 0
         self.events.schedule(
             now + self._retry_policy.delay(0),
@@ -1753,4 +1952,5 @@ class QoSSystemSimulator:
             resilience=resilience,
             fault_timeline_digest=digest,
             slo=slo_report,
+            policy_decisions=self._policy_decisions,
         )

@@ -8,14 +8,16 @@ argument of the simulator-validation literature in PAPERS.md).  This
 package is that check, three layers deep:
 
 - :mod:`repro.verify.differential` — paired executions of one scenario
-  (backend pair, jobs pair, faults pair) with byte-level or
-  tolerance-classed comparison of every scalar observable and artifact
-  stream.
+  (backend pair, jobs pair, faults pair, policy pair) with byte-level
+  or tolerance-classed comparison of every scalar observable and
+  artifact stream.
 - :mod:`repro.verify.laws` — metamorphic paper-level laws that need no
   oracle: miss curves never rise with more ways, the mode-downgrade
   ladder never raises a QoS job's throughput floor, partitioned caches
   are symmetric under core permutation, the fair-queue bus conserves
-  bandwidth.
+  bandwidth — plus the policy conformance suite (``--policy all``):
+  throughput floor, capacity conservation, actuation idempotence for
+  every registered adaptive policy.
 - :mod:`repro.verify.fuzz` — a seeded scenario fuzzer composing random
   workloads and configurations, shrinking any failure to a minimal
   replayable ``verify-case.json`` (:mod:`repro.verify.cases`).
@@ -31,13 +33,19 @@ from repro.verify.differential import (
     run_pair,
 )
 from repro.verify.fuzz import parse_budget, replay_case, run_fuzz
-from repro.verify.laws import LAWS, run_laws
+from repro.verify.laws import (
+    LAWS,
+    POLICY_LAWS,
+    run_laws,
+    run_policy_laws,
+)
 from repro.verify.report import CheckResult, PairReport, VerifyReport
 
 __all__ = [
     "CheckResult",
     "LAWS",
     "PAIR_NAMES",
+    "POLICY_LAWS",
     "PairReport",
     "Scenario",
     "VerifyCase",
@@ -49,5 +57,6 @@ __all__ = [
     "run_fuzz",
     "run_laws",
     "run_pair",
+    "run_policy_laws",
     "save_case",
 ]

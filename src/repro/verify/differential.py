@@ -19,6 +19,14 @@ arms, and every observable compared:
   events and draws no RNG streams, so the trajectory must be
   byte-identical; only the presence of the (all-zero) resilience
   report may differ.
+- **policy** — the sweep under an adaptive policy's *disabled*
+  variant (``grow-shrink`` with an infinite dead-band,
+  ``bandwidth-steal`` that never steals) versus the degenerate
+  static wrapper.  A disabled adaptive policy still schedules
+  decision epochs; the pair pins that observing without acting
+  leaves every counter and artifact stream byte-identical — at both
+  ``jobs=1`` and ``jobs=N`` — modulo the engine's own event-count
+  bookkeeping, which legitimately counts the no-op epochs.
 
 Both arms of a pair profile their miss curves through
 :func:`~repro.workloads.profiler.profile_benchmark` directly — the
@@ -56,7 +64,7 @@ from repro.workloads.composer import (
 from repro.workloads.profiler import MissRatioCurve, profile_benchmark
 
 #: The differential pairs, in the order ``verify diff`` runs them.
-PAIR_NAMES: Tuple[str, ...] = ("backend", "jobs", "faults")
+PAIR_NAMES: Tuple[str, ...] = ("backend", "jobs", "faults", "policy")
 
 #: Snapshot keys whose presence legitimately differs between the arms
 #: of the faults pair (None config has no resilience report at all).
@@ -86,12 +94,31 @@ class Scenario:
     profile_warmup: int = 15_000
     record_trace: bool = True
     fast_backend: str = "fast"
+    # Adaptive policy exercised by the "policy" pair (its disabled
+    # variant vs the degenerate static wrapper).
+    pair_policy: str = "grow-shrink"
+    # Optional registry policy applied to BOTH arms of the other pairs,
+    # pinning that adaptive decisions stay deterministic across
+    # backends / job counts / the fault layer.
+    policy: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.fast_backend not in ("fast", "fast-vec"):
             raise ValueError(
                 f"fast_backend must be 'fast' or 'fast-vec', "
                 f"got {self.fast_backend!r}"
+            )
+        from repro.core.policy import ADAPTIVE_POLICIES, policy_names
+
+        if self.pair_policy not in ADAPTIVE_POLICIES:
+            raise ValueError(
+                f"pair_policy must be adaptive, one of "
+                f"{sorted(ADAPTIVE_POLICIES)}; got {self.pair_policy!r}"
+            )
+        if self.policy is not None and self.policy not in policy_names():
+            raise ValueError(
+                f"unknown policy {self.policy!r}; expected among "
+                f"{sorted(policy_names())}"
             )
         unknown = [
             name for name in self.configurations if name not in CONFIGURATIONS
@@ -217,6 +244,7 @@ def _run_sweep_arm(
     *,
     curves: Dict[str, MissRatioCurve],
     jobs: int,
+    policy: Optional[str] = None,
 ) -> ArmResult:
     """Run the scenario's sweep under a fresh observer; capture artifacts."""
     telemetry = Observer(record_samples=True)
@@ -230,6 +258,7 @@ def _run_sweep_arm(
             curves=curves,
             record_trace=scenario.record_trace,
             jobs=jobs,
+            policy=policy if policy is not None else scenario.policy,
         )
     return ArmResult(
         results=results,
@@ -257,6 +286,7 @@ def _run_fault_arm(
                 curves=curves,
                 record_trace=scenario.record_trace,
                 fault_config=fault_config,
+                policy=scenario.policy,
             )
     return ArmResult(
         results=results,
@@ -358,6 +388,15 @@ def _without_series(lines: List[str], prefix: str) -> List[str]:
             continue
         kept.append(line)
     return kept
+
+
+def _without_event_kind(lines: List[str], kind: str) -> List[str]:
+    """Drop JSONL event lines of the given ``kind``."""
+    return [
+        line
+        for line in lines
+        if json.loads(line).get("kind") != kind
+    ]
 
 
 # -----------------------------------------------------------------------------
@@ -549,10 +588,72 @@ def _faults_pair(
     return report
 
 
+def _policy_pair(
+    scenario: Scenario, *, rel_tol: float, abs_tol: float
+) -> PairReport:
+    from repro.core.policy import disabled_variant
+
+    disabled = disabled_variant(scenario.pair_policy)
+    report = PairReport(
+        kind="policy",
+        subject=(
+            f"{scenario.describe()}, {disabled} vs static 'strict' wrapper"
+        ),
+    )
+    # One shared curve set: the pair flips only the policy, and a
+    # disabled adaptive policy must be indistinguishable from the
+    # degenerate static wrapper — epochs fire, nothing actuates.  The
+    # epoch events themselves inflate the engine's own bookkeeping
+    # (events-fired totals, pending counts at stop), so engine.* series
+    # and engine.run_end records are exempt; every simulator-level
+    # counter, metric, event, and trace line must agree byte-for-byte.
+    curves = profile_scenario_curves(scenario)
+    for jobs in (1, scenario.jobs):
+        arm_a = _run_sweep_arm(
+            scenario, curves=curves, jobs=jobs, policy="strict"
+        )
+        arm_b = _run_sweep_arm(
+            scenario, curves=curves, jobs=jobs, policy=disabled
+        )
+        suffix = f"jobs={jobs}"
+        report.checks.append(
+            CheckResult.from_violations(
+                f"counters-identical[{suffix}]",
+                _compare_results(
+                    arm_a.results,
+                    arm_b.results,
+                    rel_tol=rel_tol,
+                    abs_tol=abs_tol,
+                ),
+            )
+        )
+        report.checks.append(
+            _compare_stream(
+                f"metrics[{suffix}]",
+                _without_series(arm_a.metrics_lines, "engine."),
+                _without_series(arm_b.metrics_lines, "engine."),
+            )
+        )
+        report.checks.append(
+            _compare_stream(
+                f"events[{suffix}]",
+                _without_event_kind(arm_a.events_lines, "engine.run_end"),
+                _without_event_kind(arm_b.events_lines, "engine.run_end"),
+            )
+        )
+        report.checks.append(
+            _compare_stream(
+                f"trace[{suffix}]", arm_a.trace_lines, arm_b.trace_lines
+            )
+        )
+    return report
+
+
 _PAIR_RUNNERS = {
     "backend": _backend_pair,
     "jobs": _jobs_pair,
     "faults": _faults_pair,
+    "policy": _policy_pair,
 }
 
 

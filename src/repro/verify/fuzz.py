@@ -16,10 +16,12 @@ writes the minimal scenario as a replayable ``verify-case.json``
 
 from __future__ import annotations
 
+import dataclasses
 import re
 import time
 from typing import Optional, Sequence, Tuple
 
+from repro.core.policy import ADAPTIVE_POLICIES
 from repro.util.rng import DeterministicRng
 from repro.verify.cases import VerifyCase, load_case, save_case
 from repro.verify.differential import (
@@ -42,6 +44,19 @@ _FUZZ_CONFIGURATIONS = (
     "Hybrid-1",
     "Hybrid-2",
     "EqualPart",
+)
+
+#: Policies a fuzz case may apply to both arms of its pairs.  ``None``
+#: (no policy) stays the most likely draw; the rest cover a static
+#: wrapper, both disabled variants, and both live adaptive policies.
+_FUZZ_POLICIES = (
+    None,
+    None,
+    "strict",
+    "grow-shrink-off",
+    "bandwidth-steal-off",
+    "grow-shrink",
+    "bandwidth-steal",
 )
 
 _BUDGET_PATTERN = re.compile(
@@ -112,6 +127,16 @@ def random_scenario(
         pair
         for pair in PAIR_NAMES  # canonical order, random subset
         if pair in drawn
+    )
+    # Policy draws come last so the workload/configuration/pair streams
+    # above stay stable relative to pre-policy fuzz corpora.  Active
+    # adaptive policies are fair game for the backend/jobs/faults pairs:
+    # decisions are deterministic functions of the trajectory, so both
+    # arms must still agree byte-for-byte.
+    scenario = dataclasses.replace(
+        scenario,
+        policy=rng.choice(_FUZZ_POLICIES),
+        pair_policy=rng.choice(ADAPTIVE_POLICIES),
     )
     return scenario, pairs
 

@@ -29,6 +29,19 @@ paper's model (or basic queueing/caching theory) says so:
 
 ``run_laws`` packages the verdicts as a :class:`VerifyReport` for the
 ``repro verify laws`` CLI and the CI gate.
+
+The *policy conformance suite* (``repro verify laws --policy all``)
+applies three further laws to every policy in the
+:mod:`repro.core.policy` registry:
+
+- **policy-throughput-floor** — running under a policy never loses a
+  deadline the policy-free run met and never meaningfully inflates the
+  makespan.
+- **policy-capacity-conservation** — at every decision epoch the
+  post-actuation reserved ways plus spare ways equal the L2's ways,
+  and spare never goes negative.
+- **policy-actuation-idempotence** — policy actions carry absolute
+  targets, so re-applying an already-applied decision changes nothing.
 """
 
 from __future__ import annotations
@@ -39,6 +52,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.report import shape_checks
 from repro.analysis.runner import run_all_configurations
+from repro.core.policy import (
+    ActuatorState,
+    JobSensor,
+    SensorSnapshot,
+    apply_action,
+    make_policy,
+    policy_names,
+)
 from repro.cache.backend import (
     BACKENDS,
     make_partitioned_cache,
@@ -376,6 +397,304 @@ def _check_figure5_shapes(seed: int) -> List[str]:
     ]
 
 
+# -----------------------------------------------------------------------------
+# policy conformance laws
+# -----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PolicyLaw:
+    """One conformance property every registered policy must satisfy."""
+
+    name: str
+    description: str
+    check: Callable[[int, str], List[str]]
+
+
+class SyntheticPolicyWorld:
+    """Deterministic closed-loop sandbox for exercising policies.
+
+    A handful of reserved strict jobs with concave rate-vs-ways curves,
+    seeded head-start progress (the auto-downgrade switch-back shape
+    that gives :class:`~repro.core.policy.GrowShrinkWaysPolicy` real
+    headroom), and a scripted bus-utilisation profile.  Actions are
+    applied through the same :func:`~repro.core.policy.apply_action`
+    harness the simulator uses, so laws and property tests checked here
+    exercise exactly the production actuation path.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        jobs: int = 3,
+        l2_ways: int = 16,
+        epoch: float = 0.001,
+        utilisation: Optional[Callable[[float], float]] = None,
+    ) -> None:
+        rng = DeterministicRng(seed, "verify-policy-world")
+        self.now = 0.0
+        self.epoch = epoch
+        self.epoch_index = 0
+        self.l2_ways = l2_ways
+        self.utilisation_fn = (
+            utilisation if utilisation is not None else (lambda now: 0.3)
+        )
+        self._jobs: List[Dict[str, object]] = []
+        ways: Dict[int, int] = {}
+        caps: Dict[int, int] = {}
+        for job_id in range(jobs):
+            requested = rng.randint(2, 5)
+            base = 2.0e9 * rng.uniform(0.5, 1.0)
+            rates = tuple(
+                0.0 if w == 0 else base * w / (w + 2.0)
+                for w in range(l2_ways + 1)
+            )
+            instructions = int(rates[requested] * rng.uniform(0.004, 0.008))
+            horizon = (
+                instructions / rates[requested]
+            ) * (1.0 + rng.uniform(0.05, 0.30))
+            self._jobs.append(
+                {
+                    "job_id": job_id,
+                    "requested": requested,
+                    "rates": rates,
+                    "instructions": instructions,
+                    "progress": rng.uniform(0.0, 0.5) * instructions,
+                    "limit": horizon,
+                }
+            )
+            ways[job_id] = requested
+            caps[job_id] = requested
+        self.state = ActuatorState(
+            total_ways=l2_ways, ways=ways, caps=caps
+        )
+
+    def finished(self) -> bool:
+        return all(
+            job["progress"] >= job["instructions"] for job in self._jobs
+        )
+
+    def apply(self, action) -> bool:
+        """Apply one policy action through the shared harness."""
+        return apply_action(self.state, action)
+
+    def snapshot(self) -> SensorSnapshot:
+        sensors = []
+        reserved = 0
+        for job in self._jobs:
+            if job["progress"] >= job["instructions"]:
+                continue
+            ways = self.state.ways[job["job_id"]]
+            reserved += ways
+            rate = job["rates"][ways]
+            remaining = job["instructions"] - job["progress"]
+            projected = (
+                self.now + remaining / rate if rate > 0.0 else math.inf
+            )
+            sensors.append(
+                JobSensor(
+                    job_id=job["job_id"],
+                    mode="strict",
+                    reserved=True,
+                    elastic=False,
+                    ways=ways,
+                    requested_ways=job["requested"],
+                    progress=job["progress"],
+                    instructions=job["instructions"],
+                    rate=rate,
+                    deadline=job["limit"],
+                    reservation_end=job["limit"],
+                    projected_finish=projected,
+                    miss_increase_fraction=0.0,
+                    rates_by_ways=job["rates"],
+                )
+            )
+        utilisation = self.utilisation_fn(self.now)
+        return SensorSnapshot(
+            now=self.now,
+            epoch_index=self.epoch_index,
+            l2_ways=self.l2_ways,
+            reserved_ways=reserved,
+            spare_ways=self.l2_ways - reserved,
+            bus_utilisation=utilisation,
+            bus_saturated=utilisation >= 1.0,
+            bus_granted=self.state.bus_granted,
+            jobs=tuple(sensors),
+        )
+
+    def advance(self) -> None:
+        for job in self._jobs:
+            if job["progress"] >= job["instructions"]:
+                continue
+            rate = job["rates"][self.state.ways[job["job_id"]]]
+            job["progress"] = min(
+                float(job["instructions"]),
+                job["progress"] + rate * self.epoch,
+            )
+        self.now += self.epoch
+        self.epoch_index += 1
+
+
+#: Utilisation profiles the synthetic-world laws sweep: steady idle,
+#: steady contention, and a bursty square wave.
+_WORLD_PROFILES: Dict[str, Callable[[float], float]] = {
+    "idle": lambda now: 0.2,
+    "contended": lambda now: 0.92,
+    "bursty": lambda now: 0.95 if int(now / 0.004) % 2 else 0.15,
+}
+
+#: (seed, policy name) -> (capacity audit, baseline result, subject
+#: result); each policy's small reference simulation runs once and
+#: feeds both simulation-backed laws.
+_POLICY_RUN_CACHE: Dict = {}
+
+
+def _policy_law_sim(seed: int, policy_name: Optional[str]):
+    from repro.core.config import CONFIGURATIONS
+    from repro.sim.system import QoSSystemSimulator
+    from repro.workloads.composer import single_benchmark_workload
+
+    sim_config = SimulationConfig(
+        instructions_per_job=2_000_000,
+        seed=seed,
+        profile_num_sets=16,
+        profile_accesses=4_000,
+    )
+    workload = single_benchmark_workload(
+        "bzip2",
+        CONFIGURATIONS["All-Strict+AutoDown"],
+        count=8,
+        seed=seed,
+    )
+    simulator = QoSSystemSimulator(
+        workload,
+        sim_config=sim_config,
+        record_trace=False,
+        policy=(
+            make_policy(policy_name) if policy_name is not None else None
+        ),
+    )
+    return simulator, simulator.run()
+
+
+def _policy_run(seed: int, policy_name: Optional[str]):
+    key = (seed, policy_name)
+    if key not in _POLICY_RUN_CACHE:
+        simulator, result = _policy_law_sim(seed, policy_name)
+        _POLICY_RUN_CACHE[key] = (simulator.policy_audit, result)
+    return _POLICY_RUN_CACHE[key]
+
+
+def _check_policy_throughput_floor(seed: int, policy: str) -> List[str]:
+    violations: List[str] = []
+    _, baseline = _policy_run(seed, None)
+    _, subject = _policy_run(seed, policy)
+    if subject.deadline_report.met < baseline.deadline_report.met:
+        violations.append(
+            f"{policy}: deadlines met fell from "
+            f"{baseline.deadline_report.met} to "
+            f"{subject.deadline_report.met}"
+        )
+    ceiling = baseline.makespan_seconds * 1.05 + 1e-12
+    if subject.makespan_seconds > ceiling:
+        violations.append(
+            f"{policy}: makespan {subject.makespan_seconds:.6f}s exceeds "
+            f"the floor ceiling {ceiling:.6f}s "
+            f"(baseline {baseline.makespan_seconds:.6f}s)"
+        )
+    return violations
+
+
+def _check_policy_capacity_conservation(seed: int, policy: str) -> List[str]:
+    from repro.sim.config import MachineConfig
+
+    violations: List[str] = []
+    audit, _ = _policy_run(seed, policy)
+    l2_ways = MachineConfig().l2_ways
+    if make_policy(policy).adaptive and not audit:
+        violations.append(
+            f"{policy}: adaptive policy produced no epoch audit records "
+            "(epoch hook disconnected?)"
+        )
+    for now, reserved, spare in audit:
+        if reserved + spare != l2_ways:
+            violations.append(
+                f"{policy}@t={now:.6f}: reserved {reserved} + spare "
+                f"{spare} != {l2_ways} L2 ways"
+            )
+        if spare < 0 or reserved < 0:
+            violations.append(
+                f"{policy}@t={now:.6f}: negative allocation "
+                f"(reserved={reserved}, spare={spare})"
+            )
+    return violations
+
+
+def _check_policy_actuation_idempotence(
+    seed: int, policy: str
+) -> List[str]:
+    violations: List[str] = []
+    for profile_name, profile in _WORLD_PROFILES.items():
+        instance = make_policy(policy)
+        instance.reset()
+        world = SyntheticPolicyWorld(
+            seed, utilisation=profile
+        )
+        for step in range(60):
+            if world.finished():
+                break
+            snapshot = world.snapshot()
+            actions = instance.decide(snapshot)
+            for action in actions:
+                first = world.apply(action)
+                second = world.apply(action)
+                if second:
+                    violations.append(
+                        f"{policy}[{profile_name}] step {step}: "
+                        f"re-applying {action.describe()} was not a "
+                        "no-op"
+                    )
+                if not first:
+                    # Emitting an action the harness rejects is legal
+                    # (the simulator filters it) but an action that is
+                    # *rejected then accepted* would be stateful.
+                    again = world.apply(action)
+                    if again:
+                        violations.append(
+                            f"{policy}[{profile_name}] step {step}: "
+                            f"{action.describe()} rejected then "
+                            "accepted"
+                        )
+            world.advance()
+    return violations
+
+
+POLICY_LAWS: Dict[str, PolicyLaw] = {
+    law.name: law
+    for law in (
+        PolicyLaw(
+            name="policy-throughput-floor",
+            description="a policy never loses deadlines or meaningfully "
+            "inflates makespan vs the policy-free run",
+            check=_check_policy_throughput_floor,
+        ),
+        PolicyLaw(
+            name="policy-capacity-conservation",
+            description="reserved + spare ways equal the L2 at every "
+            "decision epoch, spare never negative",
+            check=_check_policy_capacity_conservation,
+        ),
+        PolicyLaw(
+            name="policy-actuation-idempotence",
+            description="re-applying an already-applied decision is a "
+            "no-op",
+            check=_check_policy_actuation_idempotence,
+        ),
+    )
+}
+
+
 LAWS: Dict[str, Law] = {
     law.name: law
     for law in (
@@ -414,9 +733,19 @@ LAWS: Dict[str, Law] = {
 
 
 def run_laws(
-    seed: int = 0, *, names: Optional[Sequence[str]] = None
+    seed: int = 0,
+    *,
+    names: Optional[Sequence[str]] = None,
+    policy: Optional[str] = None,
 ) -> VerifyReport:
-    """Check the requested laws (default: all) at ``seed``."""
+    """Check the requested laws (default: all) at ``seed``.
+
+    With ``policy`` set — one registry name or ``"all"`` — the *policy
+    conformance* laws run instead, against the named policies;
+    ``names`` then selects among :data:`POLICY_LAWS`.
+    """
+    if policy is not None:
+        return run_policy_laws(seed, policy=policy, names=names)
     selected = list(names) if names is not None else list(LAWS)
     unknown = sorted(set(selected) - set(LAWS))
     if unknown:
@@ -434,4 +763,53 @@ def run_laws(
                 checks=[CheckResult.from_violations(name, violations)],
             )
         )
+    return report
+
+
+def run_policy_laws(
+    seed: int = 0,
+    *,
+    policy: str = "all",
+    names: Optional[Sequence[str]] = None,
+) -> VerifyReport:
+    """Run the policy conformance suite at ``seed``.
+
+    ``policy`` is one registry name or ``"all"``; every selected law
+    runs against every selected policy, so ``repro verify laws
+    --policy all`` is the full conformance matrix.
+    """
+    registered = policy_names()
+    targets = list(registered) if policy == "all" else [policy]
+    unknown_policies = sorted(set(targets) - set(registered))
+    if unknown_policies:
+        raise ValueError(
+            f"unknown policy(ies) {unknown_policies}; expected among "
+            f"{sorted(registered)} or 'all'"
+        )
+    selected = list(names) if names is not None else list(POLICY_LAWS)
+    unknown = sorted(set(selected) - set(POLICY_LAWS))
+    if unknown:
+        raise ValueError(
+            f"unknown policy law(s) {unknown}; expected among "
+            f"{sorted(POLICY_LAWS)}"
+        )
+    report = VerifyReport(command="laws")
+    for name in selected:
+        law = POLICY_LAWS[name]
+        for target in targets:
+            violations = law.check(seed, target)
+            report.reports.append(
+                PairReport(
+                    kind=name,
+                    subject=(
+                        f"{law.description} "
+                        f"(policy={target}, seed={seed})"
+                    ),
+                    checks=[
+                        CheckResult.from_violations(
+                            f"{name}[{target}]", violations
+                        )
+                    ],
+                )
+            )
     return report

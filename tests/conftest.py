@@ -9,15 +9,23 @@ module:
   in the same commit that moves the numbers;
 - Hypothesis profiles: the ``ci`` profile (selected with
   ``HYPOTHESIS_PROFILE=ci``) derandomises example generation so CI
-  failures replay locally, while the default profile keeps the
-  standard randomised search for development runs.
+  failures replay locally, and *enforces* the per-example deadline
+  budget — a property that silently takes seconds per example is a
+  performance regression CI should catch, not absorb.  The ``dev``
+  profile keeps randomised search and no deadline so local debugging
+  (slow under tracers/coverage) never flakes on timing.
 """
 
+import datetime
 import os
 
 from hypothesis import settings
 
-settings.register_profile("ci", derandomize=True, deadline=None)
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=datetime.timedelta(milliseconds=1000),
+)
 settings.register_profile("dev", deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 

@@ -72,7 +72,15 @@ class TestPairDispatch:
             run_pair(Scenario(), "threads")
 
     def test_pair_names_cover_the_redundancy_axes(self):
-        assert PAIR_NAMES == ("backend", "jobs", "faults")
+        assert PAIR_NAMES == ("backend", "jobs", "faults", "policy")
+
+    def test_rejects_non_adaptive_pair_policy(self):
+        with pytest.raises(ValueError, match="must be adaptive"):
+            Scenario(pair_policy="strict")
+
+    def test_rejects_unknown_scenario_policy(self):
+        with pytest.raises(ValueError, match="unknown policy"):
+            Scenario(policy="thermostat")
 
 
 @pytest.fixture(scope="module")
@@ -110,3 +118,50 @@ class TestPairsAgree:
         scenario = Scenario(configurations=("EqualPart",), **REDUCED)
         report = run_pair(scenario, "faults")
         assert report.passed
+
+
+@pytest.mark.policy
+class TestPolicyPair:
+    """Disabled adaptation is byte-identical to the static wrapper —
+    on every backend, and with an *active* policy both arms of the
+    other pairs still agree (adaptive decisions are deterministic)."""
+
+    def test_bandwidth_steal_variant(self, reduced_scenario):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            reduced_scenario, pair_policy="bandwidth-steal"
+        )
+        report = run_pair(scenario, "policy")
+        assert report.passed, [
+            (check.name, check.details)
+            for check in report.checks
+            if not check.passed
+        ]
+
+    @pytest.mark.parametrize("backend", ["reference", "fast"])
+    def test_pair_holds_on_both_backends(self, reduced_scenario, backend):
+        from repro.cache.backend import forced_backend
+
+        with forced_backend(backend):
+            report = run_pair(reduced_scenario, "policy")
+        assert report.passed, [
+            (check.name, check.details)
+            for check in report.checks
+            if not check.passed
+        ]
+
+    def test_active_policy_deterministic_across_jobs(
+        self, reduced_scenario
+    ):
+        import dataclasses
+
+        scenario = dataclasses.replace(
+            reduced_scenario, policy="grow-shrink"
+        )
+        report = run_pair(scenario, "jobs")
+        assert report.passed, [
+            (check.name, check.details)
+            for check in report.checks
+            if not check.passed
+        ]
